@@ -1,0 +1,75 @@
+// Command ytcdn-analyze runs the passive side of the paper's analysis
+// over a trace file produced by ytcdn-sim: Tstat-style flow
+// classification (1000-byte rule), video-session grouping with a
+// configurable gap T, and per-dataset summaries.
+//
+// It deliberately works without the simulator world — everything it
+// prints is derived from the trace alone, like the paper's offline
+// analysis.
+//
+// Usage:
+//
+//	ytcdn-analyze -t 1s traces.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/analysis"
+	"github.com/ytcdn-sim/ytcdn/internal/capture"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ytcdn-analyze: ")
+
+	gap := flag.Duration("t", time.Second, "session gap threshold T")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: ytcdn-analyze [-t gap] traces.tsv")
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	traces, err := readAll(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := make([]string, 0, len(traces))
+	for name := range traces {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-12s %9s %10s %9s %9s | %7s %7s | %9s %7s\n",
+		"dataset", "flows", "GB", "servers", "clients", "video", "control", "sessions", "1-flow")
+	for _, name := range names {
+		recs := traces[name]
+		sum := analysis.Summarize(recs)
+		video, control := analysis.SplitFlows(recs)
+		sessions := analysis.Sessionize(recs, *gap)
+		hist := analysis.FlowsPerSessionHistogram(sessions, 10)
+		single := 0.0
+		if len(hist) > 0 {
+			single = hist[0]
+		}
+		fmt.Printf("%-12s %9d %10.2f %9d %9d | %7d %7d | %9d %6.1f%%\n",
+			name, sum.Flows, float64(sum.Bytes)/1e9, sum.Servers, sum.Clients,
+			len(video), len(control), len(sessions), single*100)
+	}
+}
+
+// readAll parses the whole TSV stream.
+func readAll(f *os.File) (map[string][]capture.FlowRecord, error) {
+	return capture.ReadTraces(f)
+}

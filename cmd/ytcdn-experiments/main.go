@@ -1,0 +1,48 @@
+// Command ytcdn-experiments regenerates every table and figure of the
+// paper: it runs the five-network study, the active measurement
+// campaigns (ping sweeps, CBG geolocation, the PlanetLab first-access
+// experiment), and the full analysis pipeline, printing paper-style
+// output for Tables I-III and Figures 2-18.
+//
+// Usage:
+//
+//	ytcdn-experiments -scale 1.0        # full paper scale (~1 min)
+//	ytcdn-experiments -scale 0.05       # quick pass (~15 s)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	ytcdn "github.com/ytcdn-sim/ytcdn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ytcdn-experiments: ")
+
+	scale := flag.Float64("scale", 0.1, "workload scale (1.0 = paper scale)")
+	days := flag.Int("days", 7, "capture window in days")
+	seed := flag.Int64("seed", 20100904, "random seed")
+	flag.Parse()
+
+	start := time.Now()
+	study, err := ytcdn.Run(ytcdn.Options{
+		Scale: *scale,
+		Span:  time.Duration(*days) * 24 * time.Hour,
+		Seed:  *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# simulation: scale %.3f, %d days, %d flows, %v\n\n",
+		*scale, *days, study.TotalFlows(), time.Since(start).Round(time.Millisecond))
+
+	if err := study.Experiments().RunAll(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# total %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"sort"
+
+	"github.com/ytcdn-sim/ytcdn/internal/asdb"
+	"github.com/ytcdn-sim/ytcdn/internal/capture"
+	"github.com/ytcdn-sim/ytcdn/internal/geo"
+	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
+)
+
+// ASShare is one row group of Table II: the share of distinct servers
+// and of bytes attributed to an AS bucket.
+type ASShare struct {
+	ServerFrac float64
+	ByteFrac   float64
+}
+
+// ASBreakdown is the Table II accounting for one dataset.
+type ASBreakdown struct {
+	Google     ASShare
+	YouTubeEU  ASShare
+	SameAS     ASShare
+	Others     ASShare
+	TotalSrv   int
+	TotalBytes int64
+}
+
+// BreakdownByAS attributes a trace's servers and bytes to the paper's
+// four AS buckets via whois lookups. clientAS is the AS of the
+// monitored network (for the "Same AS" bucket).
+func BreakdownByAS(recs []capture.FlowRecord, reg *asdb.Registry, clientAS asdb.ASN) ASBreakdown {
+	type agg struct {
+		bytes   int64
+		servers map[uint32]struct{}
+	}
+	buckets := map[string]*agg{
+		"google": {servers: map[uint32]struct{}{}},
+		"yteu":   {servers: map[uint32]struct{}{}},
+		"same":   {servers: map[uint32]struct{}{}},
+		"other":  {servers: map[uint32]struct{}{}},
+	}
+	var total agg
+	total.servers = map[uint32]struct{}{}
+	for _, r := range recs {
+		as, ok := reg.Lookup(r.Server)
+		key := "other"
+		if ok {
+			switch {
+			case as.Number == asdb.ASGoogle:
+				key = "google"
+			case as.Number == asdb.ASYouTubeEU:
+				key = "yteu"
+			case as.Number == clientAS:
+				key = "same"
+			}
+		}
+		b := buckets[key]
+		b.bytes += r.Bytes
+		b.servers[uint32(r.Server)] = struct{}{}
+		total.bytes += r.Bytes
+		total.servers[uint32(r.Server)] = struct{}{}
+	}
+	share := func(b *agg) ASShare {
+		if len(total.servers) == 0 || total.bytes == 0 {
+			return ASShare{}
+		}
+		return ASShare{
+			ServerFrac: float64(len(b.servers)) / float64(len(total.servers)),
+			ByteFrac:   float64(b.bytes) / float64(total.bytes),
+		}
+	}
+	return ASBreakdown{
+		Google:     share(buckets["google"]),
+		YouTubeEU:  share(buckets["yteu"]),
+		SameAS:     share(buckets["same"]),
+		Others:     share(buckets["other"]),
+		TotalSrv:   len(total.servers),
+		TotalBytes: total.bytes,
+	}
+}
+
+// GoogleFilter returns the subset of a trace served from the Google AS
+// or from the monitored network's own AS (the paper's §IV filtering:
+// "we only focus on accesses to video servers located in the Google
+// AS; for the EU2 dataset, we include accesses to the data center
+// located inside the corresponding ISP").
+func GoogleFilter(recs []capture.FlowRecord, reg *asdb.Registry, clientAS asdb.ASN) []capture.FlowRecord {
+	out := make([]capture.FlowRecord, 0, len(recs))
+	for _, r := range recs {
+		as, ok := reg.Lookup(r.Server)
+		if !ok {
+			continue
+		}
+		if as.Number == asdb.ASGoogle || as.Number == clientAS {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ContinentCounts is one Table III row: distinct servers per continent
+// bucket.
+type ContinentCounts struct {
+	NorthAmerica int
+	Europe       int
+	Others       int
+}
+
+// CountServersByContinent classifies each distinct server address by
+// its estimated location (Table III).
+func CountServersByContinent(recs []capture.FlowRecord, locs map[ipnet.Addr]geo.Point) ContinentCounts {
+	seen := make(map[ipnet.Addr]struct{})
+	var out ContinentCounts
+	for _, r := range recs {
+		if _, ok := seen[r.Server]; ok {
+			continue
+		}
+		seen[r.Server] = struct{}{}
+		loc, ok := locs[r.Server]
+		if !ok {
+			continue
+		}
+		switch geo.ContinentOf(loc) {
+		case geo.NorthAmerica:
+			out.NorthAmerica++
+		case geo.Europe:
+			out.Europe++
+		default:
+			out.Others++
+		}
+	}
+	return out
+}
+
+// DCTraffic describes one inferred data center's traffic from a
+// vantage point, with its active-measurement annotations.
+type DCTraffic struct {
+	Cluster    int
+	Bytes      int64
+	VideoFlows int
+	// MinRTT is the smallest ping RTT to any member server, in
+	// milliseconds (Fig 7).
+	MinRTTMs float64
+	// DistanceKm is the great-circle distance from the vantage point
+	// to the cluster centroid (Fig 8).
+	DistanceKm float64
+}
+
+// PreferredResult is the per-dataset outcome of the paper's §VI-B
+// preferred-data-center analysis.
+type PreferredResult struct {
+	// PerDC is sorted by decreasing bytes.
+	PerDC []DCTraffic
+	// Preferred is the cluster index serving the most bytes.
+	Preferred int
+	// PreferredByteShare is its share of total bytes.
+	PreferredByteShare float64
+	// PreferredIsMinRTT reports whether the preferred DC is also the
+	// lowest-RTT one.
+	PreferredIsMinRTT bool
+}
+
+// FindPreferred identifies the preferred data center of a trace from
+// byte volumes, annotating each cluster with min RTT (from rttMs, in
+// milliseconds per server address) and distance from vpLoc.
+func FindPreferred(videoFlows []capture.FlowRecord, m *DCMap, rttMs map[ipnet.Addr]float64, vpLoc geo.Point) PreferredResult {
+	bytes := make([]int64, m.NumClusters())
+	flows := make([]int, m.NumClusters())
+	var total int64
+	for _, r := range videoFlows {
+		dc, ok := m.DCOf(r.Server)
+		if !ok {
+			continue
+		}
+		bytes[dc] += r.Bytes
+		flows[dc]++
+		total += r.Bytes
+	}
+	res := PreferredResult{}
+	for i := 0; i < m.NumClusters(); i++ {
+		if flows[i] == 0 {
+			continue
+		}
+		minRTT := -1.0
+		for _, srv := range m.Cluster(i).Servers {
+			if v, ok := rttMs[srv]; ok && (minRTT < 0 || v < minRTT) {
+				minRTT = v
+			}
+		}
+		res.PerDC = append(res.PerDC, DCTraffic{
+			Cluster:    i,
+			Bytes:      bytes[i],
+			VideoFlows: flows[i],
+			MinRTTMs:   minRTT,
+			DistanceKm: geo.Distance(vpLoc, m.Centroid(i)),
+		})
+	}
+	sort.Slice(res.PerDC, func(i, j int) bool { return res.PerDC[i].Bytes > res.PerDC[j].Bytes })
+	if len(res.PerDC) == 0 {
+		res.Preferred = -1
+		return res
+	}
+	// The paper's rule (§VI-B): normally the dominant data center is
+	// the preferred one; when no single DC dominates but two together
+	// do (the EU2 case, >95% from two DCs), the one with the smallest
+	// RTT is labelled preferred.
+	prefIdx := 0
+	if total > 0 && len(res.PerDC) >= 2 {
+		top1 := float64(res.PerDC[0].Bytes) / float64(total)
+		top2 := float64(res.PerDC[0].Bytes+res.PerDC[1].Bytes) / float64(total)
+		if top1 < 0.6 && top2 > 0.8 &&
+			res.PerDC[1].MinRTTMs >= 0 && res.PerDC[0].MinRTTMs >= 0 &&
+			res.PerDC[1].MinRTTMs < res.PerDC[0].MinRTTMs {
+			prefIdx = 1
+		}
+	}
+	res.Preferred = res.PerDC[prefIdx].Cluster
+	if total > 0 {
+		res.PreferredByteShare = float64(res.PerDC[prefIdx].Bytes) / float64(total)
+	}
+	res.PreferredIsMinRTT = true
+	for i, d := range res.PerDC {
+		if i == prefIdx {
+			continue
+		}
+		if d.MinRTTMs >= 0 && res.PerDC[prefIdx].MinRTTMs >= 0 && d.MinRTTMs < res.PerDC[prefIdx].MinRTTMs {
+			res.PreferredIsMinRTT = false
+		}
+	}
+	return res
+}
+
+// CumulativeByteCurve returns (x, cumulative byte fraction) points
+// with clusters ordered by the given key (RTT for Fig 7, distance for
+// Fig 8).
+func CumulativeByteCurve(perDC []DCTraffic, key func(DCTraffic) float64) []struct{ X, F float64 } {
+	sorted := make([]DCTraffic, len(perDC))
+	copy(sorted, perDC)
+	sort.Slice(sorted, func(i, j int) bool { return key(sorted[i]) < key(sorted[j]) })
+	var total int64
+	for _, d := range sorted {
+		total += d.Bytes
+	}
+	out := make([]struct{ X, F float64 }, 0, len(sorted))
+	var acc int64
+	for _, d := range sorted {
+		acc += d.Bytes
+		out = append(out, struct{ X, F float64 }{X: key(d), F: float64(acc) / float64(total)})
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+// Package analysis is the paper's measurement pipeline. It consumes
+// only what the authors had: Tstat flow records, active RTT
+// measurements, whois lookups, and geolocation estimates. It never
+// touches simulator ground truth, so every number it produces is an
+// inference that the integration tests then compare against the
+// configured mechanisms.
+package analysis
+
+import (
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/capture"
+)
+
+// VideoFlowThreshold is the paper's flow-classification cut: flows
+// smaller than 1000 bytes are control flows (signalling, redirects),
+// the rest are video flows (§VI-A, Fig 4).
+const VideoFlowThreshold int64 = 1000
+
+// IsVideoFlow applies the size heuristic to one record.
+func IsVideoFlow(rec capture.FlowRecord) bool {
+	return rec.Bytes >= VideoFlowThreshold
+}
+
+// SplitFlows partitions a trace into video and control flows.
+func SplitFlows(recs []capture.FlowRecord) (video, control []capture.FlowRecord) {
+	for _, r := range recs {
+		if IsVideoFlow(r) {
+			video = append(video, r)
+		} else {
+			control = append(control, r)
+		}
+	}
+	return video, control
+}
+
+// TraceSummary aggregates a dataset the way Table I reports it.
+type TraceSummary struct {
+	Flows   int
+	Bytes   int64
+	Servers int
+	Clients int
+}
+
+// Summarize computes the Table I row of a trace.
+func Summarize(recs []capture.FlowRecord) TraceSummary {
+	servers := make(map[uint32]struct{})
+	clients := make(map[uint32]struct{})
+	var bytes int64
+	for _, r := range recs {
+		bytes += r.Bytes
+		servers[uint32(r.Server)] = struct{}{}
+		clients[uint32(r.Client)] = struct{}{}
+	}
+	return TraceSummary{
+		Flows:   len(recs),
+		Bytes:   bytes,
+		Servers: len(servers),
+		Clients: len(clients),
+	}
+}
+
+// Span returns the time extent of a trace (start of first flow to end
+// of last), which the per-hour figures bin over.
+func Span(recs []capture.FlowRecord) time.Duration {
+	var max time.Duration
+	for _, r := range recs {
+		if r.End > max {
+			max = r.End
+		}
+	}
+	return max
+}

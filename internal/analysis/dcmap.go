@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"sort"
+
+	"github.com/ytcdn-sim/ytcdn/internal/geo"
+	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
+)
+
+// DCMap clusters the server addresses seen in traces into inferred
+// data centers, following the paper's rule (§V): servers are grouped
+// by geolocated city, and servers in the same /24 always land in the
+// same data center.
+type DCMap struct {
+	clusters []Cluster
+	byAddr   map[ipnet.Addr]int
+}
+
+// Cluster is one inferred data center.
+type Cluster struct {
+	// Centroid is the mean of the member location estimates.
+	Centroid geo.Point
+	// Servers lists the member addresses.
+	Servers []ipnet.Addr
+}
+
+// BuildDCMap clusters server locations. mergeKm is the radius within
+// which two /24 groups count as the same city (the paper's CBG median
+// confidence radius is ~41 km; 100 km merges estimates of co-located
+// servers without merging distinct metros).
+func BuildDCMap(locs map[ipnet.Addr]geo.Point, mergeKm float64) *DCMap {
+	// Step 1: group by /24, averaging member estimates.
+	type slashGroup struct {
+		prefix  ipnet.Addr
+		members []ipnet.Addr
+		center  geo.Point
+	}
+	byPrefix := make(map[ipnet.Addr]*slashGroup)
+	for addr := range locs {
+		p := addr.Slash24()
+		g, ok := byPrefix[p]
+		if !ok {
+			g = &slashGroup{prefix: p}
+			byPrefix[p] = g
+		}
+		g.members = append(g.members, addr)
+	}
+	groups := make([]*slashGroup, 0, len(byPrefix))
+	for _, g := range byPrefix {
+		var lat, lon float64
+		// Sort members for deterministic centroids.
+		sort.Slice(g.members, func(i, j int) bool { return g.members[i] < g.members[j] })
+		for _, a := range g.members {
+			lat += locs[a].Lat
+			lon += locs[a].Lon
+		}
+		n := float64(len(g.members))
+		g.center = geo.Point{Lat: lat / n, Lon: lon / n}
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].prefix < groups[j].prefix })
+
+	// Step 2: agglomerate /24 groups whose centers fall within
+	// mergeKm, via union-find.
+	parent := make([]int, len(groups))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < len(groups); i++ {
+		for j := i + 1; j < len(groups); j++ {
+			if geo.Distance(groups[i].center, groups[j].center) <= mergeKm {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					parent[rj] = ri
+				}
+			}
+		}
+	}
+
+	// Step 3: materialize clusters in deterministic order.
+	rootIdx := make(map[int]int)
+	m := &DCMap{byAddr: make(map[ipnet.Addr]int, len(locs))}
+	for i, g := range groups {
+		root := find(i)
+		ci, ok := rootIdx[root]
+		if !ok {
+			ci = len(m.clusters)
+			rootIdx[root] = ci
+			m.clusters = append(m.clusters, Cluster{})
+		}
+		c := &m.clusters[ci]
+		c.Servers = append(c.Servers, g.members...)
+		for _, a := range g.members {
+			m.byAddr[a] = ci
+		}
+	}
+	for i := range m.clusters {
+		var lat, lon float64
+		for _, a := range m.clusters[i].Servers {
+			lat += locs[a].Lat
+			lon += locs[a].Lon
+		}
+		n := float64(len(m.clusters[i].Servers))
+		m.clusters[i].Centroid = geo.Point{Lat: lat / n, Lon: lon / n}
+	}
+	return m
+}
+
+// NumClusters returns the number of inferred data centers.
+func (m *DCMap) NumClusters() int { return len(m.clusters) }
+
+// Cluster returns cluster i.
+func (m *DCMap) Cluster(i int) Cluster { return m.clusters[i] }
+
+// DCOf maps a server address to its cluster. Addresses that were not
+// geolocated (e.g. filtered out as non-Google) return ok=false.
+func (m *DCMap) DCOf(addr ipnet.Addr) (int, bool) {
+	// Exact address first, then its /24 (an ungeolocated server in a
+	// known /24 still aggregates with its prefix).
+	if i, ok := m.byAddr[addr]; ok {
+		return i, true
+	}
+	i, ok := m.byAddr[addr.Slash24()]
+	return i, ok
+}
+
+// Centroid returns the centroid of cluster i.
+func (m *DCMap) Centroid(i int) geo.Point { return m.clusters[i].Centroid }

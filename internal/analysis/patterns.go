@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/capture"
+	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
+	"github.com/ytcdn-sim/ytcdn/internal/stats"
+)
+
+// PrefMask reports, per flow of a session, whether it went to the
+// preferred data center.
+func PrefMask(s Session, m *DCMap, preferred int) []bool {
+	mask := make([]bool, len(s.Flows))
+	for i, f := range s.Flows {
+		dc, ok := m.DCOf(f.Server)
+		mask[i] = ok && dc == preferred
+	}
+	return mask
+}
+
+// SingleFlowBreakdown is Fig 10a: among all sessions, the fraction
+// consisting of exactly one flow that went to the preferred /
+// non-preferred data center.
+type SingleFlowBreakdown struct {
+	Preferred    float64
+	NonPreferred float64
+}
+
+// TwoFlowBreakdown is Fig 10b: among all sessions, the fraction of
+// two-flow sessions per (first, second) preferred pattern.
+type TwoFlowBreakdown struct {
+	PrefPref       float64
+	PrefNonPref    float64
+	NonPrefPref    float64
+	NonPrefNonPref float64
+}
+
+// BreakdownSessions computes Figs 10a/10b for a session list.
+func BreakdownSessions(sessions []Session, m *DCMap, preferred int) (SingleFlowBreakdown, TwoFlowBreakdown) {
+	var one SingleFlowBreakdown
+	var two TwoFlowBreakdown
+	if len(sessions) == 0 {
+		return one, two
+	}
+	n := float64(len(sessions))
+	for _, s := range sessions {
+		mask := PrefMask(s, m, preferred)
+		switch len(s.Flows) {
+		case 1:
+			if mask[0] {
+				one.Preferred += 1 / n
+			} else {
+				one.NonPreferred += 1 / n
+			}
+		case 2:
+			switch {
+			case mask[0] && mask[1]:
+				two.PrefPref += 1 / n
+			case mask[0] && !mask[1]:
+				two.PrefNonPref += 1 / n
+			case !mask[0] && mask[1]:
+				two.NonPrefPref += 1 / n
+			default:
+				two.NonPrefNonPref += 1 / n
+			}
+		}
+	}
+	return one, two
+}
+
+// HourlyNonPreferred computes the per-hour fraction of video flows
+// served by non-preferred data centers (Figs 9 and 11). Flows outside
+// any known cluster are ignored, mirroring the paper's Google-AS
+// filter. It returns the per-bin fractions (only bins with traffic)
+// plus the total and non-preferred hourly counts.
+func HourlyNonPreferred(videoFlows []capture.FlowRecord, m *DCMap, preferred int, span time.Duration) (fracs []float64, all, nonPref *stats.TimeBins) {
+	if span < time.Hour {
+		span = time.Hour
+	}
+	all = stats.NewTimeBins(span, time.Hour)
+	nonPref = stats.NewTimeBins(span, time.Hour)
+	for _, r := range videoFlows {
+		dc, ok := m.DCOf(r.Server)
+		if !ok {
+			continue
+		}
+		all.Incr(r.Start)
+		if dc != preferred {
+			nonPref.Incr(r.Start)
+		}
+	}
+	vals, mask := stats.Ratio(nonPref, all)
+	for i, v := range vals {
+		if mask[i] {
+			fracs = append(fracs, v)
+		}
+	}
+	return fracs, all, nonPref
+}
+
+// SubnetShare is one bar pair of Fig 12.
+type SubnetShare struct {
+	Name string
+	// AllFrac is the subnet's share of all video flows.
+	AllFrac float64
+	// NonPrefFrac is the subnet's share of video flows that went to
+	// non-preferred data centers.
+	NonPrefFrac float64
+}
+
+// NamedPrefix labels a client subnet for Fig 12.
+type NamedPrefix struct {
+	Name   string
+	Prefix ipnet.Prefix
+}
+
+// BySubnet attributes video flows and non-preferred video flows to
+// client subnets (Fig 12).
+func BySubnet(videoFlows []capture.FlowRecord, m *DCMap, preferred int, subnets []NamedPrefix) []SubnetShare {
+	all := make([]float64, len(subnets))
+	nonPref := make([]float64, len(subnets))
+	var totAll, totNon float64
+	for _, r := range videoFlows {
+		dc, ok := m.DCOf(r.Server)
+		if !ok {
+			continue
+		}
+		idx := -1
+		for i, sn := range subnets {
+			if sn.Prefix.Contains(r.Client) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		all[idx]++
+		totAll++
+		if dc != preferred {
+			nonPref[idx]++
+			totNon++
+		}
+	}
+	out := make([]SubnetShare, len(subnets))
+	for i, sn := range subnets {
+		out[i].Name = sn.Name
+		if totAll > 0 {
+			out[i].AllFrac = all[i] / totAll
+		}
+		if totNon > 0 {
+			out[i].NonPrefFrac = nonPref[i] / totNon
+		}
+	}
+	return out
+}
+
+// VideoNonPrefCount pairs a video with how many of its video flows
+// were served from non-preferred data centers.
+type VideoNonPrefCount struct {
+	VideoID string
+	Count   int
+	Total   int
+}
+
+// NonPreferredPerVideo counts, per video, the video flows served from
+// non-preferred DCs (Fig 13's distribution; its top entries feed
+// Fig 14). Only videos with at least one non-preferred access are
+// returned, sorted by decreasing count then VideoID.
+func NonPreferredPerVideo(videoFlows []capture.FlowRecord, m *DCMap, preferred int) []VideoNonPrefCount {
+	nonPref := make(map[string]int)
+	total := make(map[string]int)
+	for _, r := range videoFlows {
+		dc, ok := m.DCOf(r.Server)
+		if !ok {
+			continue
+		}
+		total[r.VideoID]++
+		if dc != preferred {
+			nonPref[r.VideoID]++
+		}
+	}
+	out := make([]VideoNonPrefCount, 0, len(nonPref))
+	for id, c := range nonPref {
+		out = append(out, VideoNonPrefCount{VideoID: id, Count: c, Total: total[id]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].VideoID < out[j].VideoID
+	})
+	return out
+}
+
+// VideoHourlySeries returns the hourly request series of one video:
+// all accesses and non-preferred accesses (one panel of Fig 14).
+func VideoHourlySeries(videoFlows []capture.FlowRecord, m *DCMap, preferred int, videoID string, span time.Duration) (all, nonPref *stats.TimeBins) {
+	if span < time.Hour {
+		span = time.Hour
+	}
+	all = stats.NewTimeBins(span, time.Hour)
+	nonPref = stats.NewTimeBins(span, time.Hour)
+	for _, r := range videoFlows {
+		if r.VideoID != videoID {
+			continue
+		}
+		dc, ok := m.DCOf(r.Server)
+		if !ok {
+			continue
+		}
+		all.Incr(r.Start)
+		if dc != preferred {
+			nonPref.Incr(r.Start)
+		}
+	}
+	return all, nonPref
+}
+
+// ServerLoadStats returns, per hour, the average and maximum number of
+// video flows handled by servers of the preferred data center
+// (Fig 15).
+func ServerLoadStats(videoFlows []capture.FlowRecord, m *DCMap, preferred int, span time.Duration) (avg, max []float64) {
+	if span < time.Hour {
+		span = time.Hour
+	}
+	nBins := int(span / time.Hour)
+	if span%time.Hour != 0 {
+		nBins++
+	}
+	perServer := make(map[ipnet.Addr][]float64)
+	serverCount := len(m.Cluster(preferred).Servers)
+	for _, r := range videoFlows {
+		dc, ok := m.DCOf(r.Server)
+		if !ok || dc != preferred {
+			continue
+		}
+		bins, ok := perServer[r.Server]
+		if !ok {
+			bins = make([]float64, nBins)
+			perServer[r.Server] = bins
+		}
+		idx := int(r.Start / time.Hour)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nBins {
+			idx = nBins - 1
+		}
+		bins[idx]++
+	}
+	avg = make([]float64, nBins)
+	max = make([]float64, nBins)
+	for _, bins := range perServer {
+		for i, v := range bins {
+			avg[i] += v
+			if v > max[i] {
+				max[i] = v
+			}
+		}
+	}
+	if serverCount > 0 {
+		for i := range avg {
+			avg[i] /= float64(serverCount)
+		}
+	}
+	return avg, max
+}
+
+// ServerSessionPattern classifies the sessions that touch a given
+// server by their preferred pattern (Fig 16).
+type ServerSessionPattern struct {
+	AllPreferred  *stats.TimeBins // every flow to the preferred DC
+	FirstPrefOnly *stats.TimeBins // first flow preferred, later ones not
+	Others        *stats.TimeBins
+}
+
+// SessionsAtServer computes Fig 16 for one server address.
+func SessionsAtServer(sessions []Session, m *DCMap, preferred int, server ipnet.Addr, span time.Duration) ServerSessionPattern {
+	if span < time.Hour {
+		span = time.Hour
+	}
+	out := ServerSessionPattern{
+		AllPreferred:  stats.NewTimeBins(span, time.Hour),
+		FirstPrefOnly: stats.NewTimeBins(span, time.Hour),
+		Others:        stats.NewTimeBins(span, time.Hour),
+	}
+	for _, s := range sessions {
+		touches := false
+		for _, f := range s.Flows {
+			if f.Server == server {
+				touches = true
+				break
+			}
+		}
+		if !touches {
+			continue
+		}
+		mask := PrefMask(s, m, preferred)
+		allPref := true
+		for _, p := range mask {
+			if !p {
+				allPref = false
+				break
+			}
+		}
+		switch {
+		case allPref:
+			out.AllPreferred.Incr(s.Start())
+		case mask[0] && len(mask) > 1:
+			out.FirstPrefOnly.Incr(s.Start())
+		default:
+			out.Others.Incr(s.Start())
+		}
+	}
+	return out
+}

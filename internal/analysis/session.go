@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/capture"
+	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
+)
+
+// Session is a group of related flows: same client, same VideoID,
+// adjacent in time (paper §VI-A). Flows are ordered by start time.
+type Session struct {
+	Client  ipnet.Addr
+	VideoID string
+	Flows   []capture.FlowRecord
+}
+
+// Start returns the session's first flow start.
+func (s Session) Start() time.Duration { return s.Flows[0].Start }
+
+// sessionKey groups flows before temporal splitting.
+type sessionKey struct {
+	client ipnet.Addr
+	video  string
+}
+
+// Sessionize groups a trace into video sessions: flows with the same
+// (client, VideoID) belong to one session when the gap between the end
+// of one flow and the start of the next is below gap (the paper's T;
+// overlapping flows always group). The result is ordered by session
+// start time, and flows within each session by start time.
+func Sessionize(recs []capture.FlowRecord, gap time.Duration) []Session {
+	groups := make(map[sessionKey][]capture.FlowRecord)
+	for _, r := range recs {
+		k := sessionKey{client: r.Client, video: r.VideoID}
+		groups[k] = append(groups[k], r)
+	}
+
+	var out []Session
+	for k, flows := range groups {
+		sort.Slice(flows, func(i, j int) bool {
+			if flows[i].Start != flows[j].Start {
+				return flows[i].Start < flows[j].Start
+			}
+			return flows[i].End < flows[j].End
+		})
+		cur := Session{Client: k.client, VideoID: k.video}
+		// latestEnd tracks the furthest end seen, so a long flow
+		// swallowing short ones does not split the session.
+		var latestEnd time.Duration
+		for _, f := range flows {
+			if len(cur.Flows) > 0 && f.Start > latestEnd+gap {
+				out = append(out, cur)
+				cur = Session{Client: k.client, VideoID: k.video}
+				latestEnd = 0
+			}
+			cur.Flows = append(cur.Flows, f)
+			if f.End > latestEnd {
+				latestEnd = f.End
+			}
+		}
+		out = append(out, cur)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start() != out[j].Start() {
+			return out[i].Start() < out[j].Start()
+		}
+		if out[i].Client != out[j].Client {
+			return out[i].Client < out[j].Client
+		}
+		return out[i].VideoID < out[j].VideoID
+	})
+	return out
+}
+
+// FlowsPerSessionHistogram returns the fraction of sessions having
+// 1, 2, ..., maxBucket flows; the last bucket aggregates everything
+// >= maxBucket (the paper's ">9" bucket with maxBucket=10).
+func FlowsPerSessionHistogram(sessions []Session, maxBucket int) []float64 {
+	hist := make([]float64, maxBucket)
+	if len(sessions) == 0 {
+		return hist
+	}
+	for _, s := range sessions {
+		n := len(s.Flows)
+		if n > maxBucket {
+			n = maxBucket
+		}
+		hist[n-1]++
+	}
+	for i := range hist {
+		hist[i] /= float64(len(sessions))
+	}
+	return hist
+}

@@ -1,0 +1,90 @@
+// Package asdb is the simulated whois: a registry mapping IP prefixes
+// to autonomous systems. The analysis pipeline queries it exactly the
+// way the paper used the whois tool (Section IV) to produce Table II,
+// with no access to simulator internals.
+package asdb
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// Well-known ASNs from the paper (Section IV / Table II).
+const (
+	ASGoogle    ASN = 15169 // Google Inc.
+	ASYouTubeEU ASN = 43515 // YouTube-EU (legacy)
+	ASCW        ASN = 1273  // Cable & Wireless
+	ASGBLX      ASN = 3549  // Global Crossing
+)
+
+// AS describes one autonomous system.
+type AS struct {
+	Number ASN
+	Name   string
+}
+
+// String implements fmt.Stringer.
+func (a AS) String() string { return fmt.Sprintf("AS%d (%s)", a.Number, a.Name) }
+
+// Registry maps prefixes to ASes with longest-prefix-match lookup.
+// The zero value is an empty registry ready for Register calls.
+type Registry struct {
+	entries []entry
+	asNames map[ASN]string
+	sorted  bool
+}
+
+type entry struct {
+	prefix ipnet.Prefix
+	asn    ASN
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{asNames: make(map[ASN]string)}
+}
+
+// Register announces prefix as originated by the given AS.
+func (r *Registry) Register(prefix ipnet.Prefix, as AS) {
+	if r.asNames == nil {
+		r.asNames = make(map[ASN]string)
+	}
+	r.entries = append(r.entries, entry{prefix: prefix, asn: as.Number})
+	r.asNames[as.Number] = as.Name
+	r.sorted = false
+}
+
+func (r *Registry) ensureSorted() {
+	if r.sorted {
+		return
+	}
+	// Longest prefixes first so the first containing entry wins.
+	sort.SliceStable(r.entries, func(i, j int) bool {
+		return r.entries[i].prefix.Bits > r.entries[j].prefix.Bits
+	})
+	r.sorted = true
+}
+
+// Lookup performs a whois-style query: it returns the AS originating
+// the longest registered prefix containing addr, or ok=false when the
+// address is unrouted.
+func (r *Registry) Lookup(addr ipnet.Addr) (AS, bool) {
+	r.ensureSorted()
+	for _, e := range r.entries {
+		if e.prefix.Contains(addr) {
+			return AS{Number: e.asn, Name: r.asNames[e.asn]}, true
+		}
+	}
+	return AS{}, false
+}
+
+// Name returns the registered name for an ASN, or "" if unknown.
+func (r *Registry) Name(asn ASN) string { return r.asNames[asn] }
+
+// Len returns the number of registered prefixes.
+func (r *Registry) Len() int { return len(r.entries) }

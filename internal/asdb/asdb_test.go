@@ -1,0 +1,90 @@
+package asdb
+
+import (
+	"testing"
+
+	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
+)
+
+func TestLookupBasic(t *testing.T) {
+	r := NewRegistry()
+	r.Register(ipnet.MustParsePrefix("173.194.0.0/16"), AS{ASGoogle, "Google Inc."})
+	r.Register(ipnet.MustParsePrefix("208.117.224.0/19"), AS{ASYouTubeEU, "YouTube-EU"})
+
+	as, ok := r.Lookup(ipnet.MustParseAddr("173.194.55.1"))
+	if !ok || as.Number != ASGoogle {
+		t.Fatalf("Lookup google addr = %v, %v", as, ok)
+	}
+	as, ok = r.Lookup(ipnet.MustParseAddr("208.117.230.9"))
+	if !ok || as.Number != ASYouTubeEU {
+		t.Fatalf("Lookup yt-eu addr = %v, %v", as, ok)
+	}
+	if _, ok := r.Lookup(ipnet.MustParseAddr("9.9.9.9")); ok {
+		t.Error("unrouted address must miss")
+	}
+}
+
+func TestLookupLongestPrefixWins(t *testing.T) {
+	r := NewRegistry()
+	r.Register(ipnet.MustParsePrefix("10.0.0.0/8"), AS{100, "coarse"})
+	r.Register(ipnet.MustParsePrefix("10.5.0.0/16"), AS{200, "fine"})
+	r.Register(ipnet.MustParsePrefix("10.5.5.0/24"), AS{300, "finest"})
+
+	tests := []struct {
+		addr string
+		want ASN
+	}{
+		{"10.1.1.1", 100},
+		{"10.5.1.1", 200},
+		{"10.5.5.5", 300},
+	}
+	for _, tt := range tests {
+		as, ok := r.Lookup(ipnet.MustParseAddr(tt.addr))
+		if !ok || as.Number != tt.want {
+			t.Errorf("Lookup(%s) = %v, want AS%d", tt.addr, as, tt.want)
+		}
+	}
+}
+
+func TestLookupAfterLateRegister(t *testing.T) {
+	r := NewRegistry()
+	r.Register(ipnet.MustParsePrefix("10.0.0.0/8"), AS{100, "coarse"})
+	if as, _ := r.Lookup(ipnet.MustParseAddr("10.5.5.5")); as.Number != 100 {
+		t.Fatal("initial lookup failed")
+	}
+	// Registering a more specific prefix after a lookup must take
+	// effect (re-sort).
+	r.Register(ipnet.MustParsePrefix("10.5.5.0/24"), AS{300, "finest"})
+	if as, _ := r.Lookup(ipnet.MustParseAddr("10.5.5.5")); as.Number != 300 {
+		t.Error("late registration ignored")
+	}
+}
+
+func TestName(t *testing.T) {
+	r := NewRegistry()
+	r.Register(ipnet.MustParsePrefix("1.0.0.0/8"), AS{ASCW, "Cable&Wireless"})
+	if r.Name(ASCW) != "Cable&Wireless" {
+		t.Errorf("Name = %q", r.Name(ASCW))
+	}
+	if r.Name(999) != "" {
+		t.Error("unknown ASN must return empty name")
+	}
+}
+
+func TestZeroValueRegistry(t *testing.T) {
+	var r Registry
+	r.Register(ipnet.MustParsePrefix("1.0.0.0/8"), AS{1, "x"})
+	if as, ok := r.Lookup(ipnet.MustParseAddr("1.2.3.4")); !ok || as.Number != 1 {
+		t.Error("zero-value registry must work after Register")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestASString(t *testing.T) {
+	as := AS{ASGoogle, "Google Inc."}
+	if as.String() != "AS15169 (Google Inc.)" {
+		t.Errorf("String = %q", as.String())
+	}
+}

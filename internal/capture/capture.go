@@ -1,0 +1,192 @@
+// Package capture is the simulated Tstat probe: it defines the
+// flow-level records logged at each vantage point's access link and
+// the trace serialization used to move them between the simulator and
+// the analysis pipeline.
+//
+// A record carries exactly the fields the paper's datasets expose
+// (§III-B): source and destination addresses, start and end times,
+// byte count, the VideoID string and the requested resolution. The
+// analysis side sees nothing else — in particular, no data-center,
+// redirect-reason or class annotations.
+package capture
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
+)
+
+// FlowRecord is one TCP flow as logged by the probe.
+type FlowRecord struct {
+	Client     ipnet.Addr
+	Server     ipnet.Addr
+	Start      time.Duration // offset from capture start
+	End        time.Duration
+	Bytes      int64
+	VideoID    string // 11-character YouTube-style identifier
+	Resolution string
+}
+
+// Duration returns the flow's lifetime.
+func (r FlowRecord) Duration() time.Duration { return r.End - r.Start }
+
+// Sink consumes flow records as the simulation emits them.
+type Sink interface {
+	Record(dataset string, rec FlowRecord)
+}
+
+// MemSink accumulates records per dataset in memory.
+type MemSink struct {
+	byDataset map[string][]FlowRecord
+}
+
+// NewMemSink returns an empty in-memory sink.
+func NewMemSink() *MemSink {
+	return &MemSink{byDataset: make(map[string][]FlowRecord)}
+}
+
+// Record implements Sink.
+func (m *MemSink) Record(dataset string, rec FlowRecord) {
+	m.byDataset[dataset] = append(m.byDataset[dataset], rec)
+}
+
+// Trace returns the records captured for a dataset, in emission order.
+func (m *MemSink) Trace(dataset string) []FlowRecord { return m.byDataset[dataset] }
+
+// Datasets returns the dataset names seen so far.
+func (m *MemSink) Datasets() []string {
+	out := make([]string, 0, len(m.byDataset))
+	for name := range m.byDataset {
+		out = append(out, name)
+	}
+	return out
+}
+
+// TotalRecords returns the record count across datasets.
+func (m *MemSink) TotalRecords() int {
+	n := 0
+	for _, recs := range m.byDataset {
+		n += len(recs)
+	}
+	return n
+}
+
+var _ Sink = (*MemSink)(nil)
+
+// WriterSink streams records as TSV lines, one file per study (the
+// dataset name is the first column). It buffers internally; call Flush
+// before reading the output.
+type WriterSink struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriterSink wraps w.
+func NewWriterSink(w io.Writer) *WriterSink {
+	return &WriterSink{w: bufio.NewWriterSize(w, 1<<20)}
+}
+
+// Record implements Sink. Errors are sticky and surfaced by Flush.
+func (ws *WriterSink) Record(dataset string, rec FlowRecord) {
+	if ws.err != nil {
+		return
+	}
+	_, ws.err = fmt.Fprintf(ws.w, "%s\t%s\t%s\t%d\t%d\t%d\t%s\t%s\n",
+		dataset, rec.Client, rec.Server,
+		rec.Start.Microseconds(), rec.End.Microseconds(),
+		rec.Bytes, rec.VideoID, rec.Resolution)
+}
+
+// Flush drains the buffer and returns any write error.
+func (ws *WriterSink) Flush() error {
+	if ws.err != nil {
+		return ws.err
+	}
+	return ws.w.Flush()
+}
+
+var _ Sink = (*WriterSink)(nil)
+
+// ParseLine parses one TSV trace line produced by WriterSink.
+func ParseLine(line string) (dataset string, rec FlowRecord, err error) {
+	fields := strings.Split(strings.TrimRight(line, "\n"), "\t")
+	if len(fields) != 8 {
+		return "", FlowRecord{}, fmt.Errorf("capture: %d fields, want 8", len(fields))
+	}
+	client, err := ipnet.ParseAddr(fields[1])
+	if err != nil {
+		return "", FlowRecord{}, fmt.Errorf("capture: client: %w", err)
+	}
+	server, err := ipnet.ParseAddr(fields[2])
+	if err != nil {
+		return "", FlowRecord{}, fmt.Errorf("capture: server: %w", err)
+	}
+	startUs, err := strconv.ParseInt(fields[3], 10, 64)
+	if err != nil {
+		return "", FlowRecord{}, fmt.Errorf("capture: start: %w", err)
+	}
+	endUs, err := strconv.ParseInt(fields[4], 10, 64)
+	if err != nil {
+		return "", FlowRecord{}, fmt.Errorf("capture: end: %w", err)
+	}
+	bytes, err := strconv.ParseInt(fields[5], 10, 64)
+	if err != nil {
+		return "", FlowRecord{}, fmt.Errorf("capture: bytes: %w", err)
+	}
+	rec = FlowRecord{
+		Client:     client,
+		Server:     server,
+		Start:      time.Duration(startUs) * time.Microsecond,
+		End:        time.Duration(endUs) * time.Microsecond,
+		Bytes:      bytes,
+		VideoID:    fields[6],
+		Resolution: fields[7],
+	}
+	return fields[0], rec, nil
+}
+
+// ReadTraces parses a full TSV stream into per-dataset record slices.
+func ReadTraces(r io.Reader) (map[string][]FlowRecord, error) {
+	out := make(map[string][]FlowRecord)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		ds, rec, err := ParseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("capture: line %d: %w", lineNo, err)
+		}
+		out[ds] = append(out[ds], rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("capture: %w", err)
+	}
+	return out, nil
+}
+
+// TeeSink duplicates records to multiple sinks.
+type TeeSink struct {
+	sinks []Sink
+}
+
+// NewTeeSink combines sinks.
+func NewTeeSink(sinks ...Sink) *TeeSink { return &TeeSink{sinks: sinks} }
+
+// Record implements Sink.
+func (t *TeeSink) Record(dataset string, rec FlowRecord) {
+	for _, s := range t.sinks {
+		s.Record(dataset, rec)
+	}
+}
+
+var _ Sink = (*TeeSink)(nil)

@@ -1,0 +1,165 @@
+package capture
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
+)
+
+func sampleRecord() FlowRecord {
+	return FlowRecord{
+		Client:     ipnet.MustParseAddr("128.210.1.2"),
+		Server:     ipnet.MustParseAddr("173.194.5.9"),
+		Start:      1500 * time.Millisecond,
+		End:        61500 * time.Millisecond,
+		Bytes:      5_000_000,
+		VideoID:    "dQw4w9WgXcQ",
+		Resolution: "360p",
+	}
+}
+
+func TestFlowRecordDuration(t *testing.T) {
+	if got := sampleRecord().Duration(); got != time.Minute {
+		t.Errorf("Duration = %v", got)
+	}
+}
+
+func TestMemSink(t *testing.T) {
+	m := NewMemSink()
+	m.Record("ds1", sampleRecord())
+	m.Record("ds1", sampleRecord())
+	m.Record("ds2", sampleRecord())
+	if len(m.Trace("ds1")) != 2 || len(m.Trace("ds2")) != 1 {
+		t.Errorf("trace lengths wrong")
+	}
+	if m.TotalRecords() != 3 {
+		t.Errorf("TotalRecords = %d", m.TotalRecords())
+	}
+	if len(m.Datasets()) != 2 {
+		t.Errorf("Datasets = %v", m.Datasets())
+	}
+	if m.Trace("missing") != nil {
+		t.Error("missing dataset must return nil")
+	}
+}
+
+func TestWriterSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	ws := NewWriterSink(&buf)
+	rec := sampleRecord()
+	ws.Record("US-Campus", rec)
+	ws.Record("EU2", rec)
+	if err := ws.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	traces, err := ReadTraces(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces["US-Campus"]) != 1 || len(traces["EU2"]) != 1 {
+		t.Fatalf("traces = %v", traces)
+	}
+	got := traces["US-Campus"][0]
+	if got != rec {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, rec)
+	}
+}
+
+func TestWriterSinkStickyError(t *testing.T) {
+	ws := NewWriterSink(failWriter{})
+	for i := 0; i < 100000; i++ {
+		ws.Record("x", sampleRecord())
+	}
+	if err := ws.Flush(); err == nil {
+		t.Error("Flush must surface the write error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errWrite }
+
+var errWrite = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "boom" }
+
+func TestParseLineErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"too\tfew\tfields",
+		"ds\tnot-an-ip\t1.1.1.1\t0\t1\t2\tv\t360p",
+		"ds\t1.1.1.1\tnot-an-ip\t0\t1\t2\tv\t360p",
+		"ds\t1.1.1.1\t2.2.2.2\tx\t1\t2\tv\t360p",
+		"ds\t1.1.1.1\t2.2.2.2\t0\tx\t2\tv\t360p",
+		"ds\t1.1.1.1\t2.2.2.2\t0\t1\tx\tv\t360p",
+	}
+	for _, line := range bad {
+		if _, _, err := ParseLine(line); err == nil {
+			t.Errorf("ParseLine(%q) must fail", line)
+		}
+	}
+}
+
+func TestReadTracesSkipsBlankLines(t *testing.T) {
+	var buf bytes.Buffer
+	ws := NewWriterSink(&buf)
+	ws.Record("a", sampleRecord())
+	if err := ws.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	in := buf.String() + "\n\n"
+	traces, err := ReadTraces(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces["a"]) != 1 {
+		t.Errorf("records = %d", len(traces["a"]))
+	}
+}
+
+func TestReadTracesReportsLineNumber(t *testing.T) {
+	in := "ds\t1.1.1.1\t2.2.2.2\t0\t1\t2\tv\t360p\ngarbage line\n"
+	if _, err := ReadTraces(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("want line-numbered error, got %v", err)
+	}
+}
+
+func TestTeeSink(t *testing.T) {
+	a, b := NewMemSink(), NewMemSink()
+	tee := NewTeeSink(a, b)
+	tee.Record("x", sampleRecord())
+	if a.TotalRecords() != 1 || b.TotalRecords() != 1 {
+		t.Error("tee did not duplicate")
+	}
+}
+
+func TestSerializationRoundTripProperty(t *testing.T) {
+	f := func(client, server uint32, startUs, durUs uint32, bytes uint32, vidRaw uint16) bool {
+		rec := FlowRecord{
+			Client:     ipnet.Addr(client),
+			Server:     ipnet.Addr(server),
+			Start:      time.Duration(startUs) * time.Microsecond,
+			End:        time.Duration(startUs+durUs) * time.Microsecond,
+			Bytes:      int64(bytes),
+			VideoID:    "vid" + string(rune('A'+vidRaw%26)),
+			Resolution: "480p",
+		}
+		var buf strings.Builder
+		ws := NewWriterSink(&buf)
+		ws.Record("p", rec)
+		if err := ws.Flush(); err != nil {
+			return false
+		}
+		ds, got, err := ParseLine(strings.TrimRight(buf.String(), "\n"))
+		return err == nil && ds == "p" && got == rec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package cdn executes video sessions against the selection engine:
+// it models the Flash-player side of the paper's Fig 1 (DNS lookup,
+// HTTP request, possible redirect chain, video download) and emits the
+// flow records a Tstat probe at the vantage point would log.
+package cdn
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/capture"
+	"github.com/ytcdn-sim/ytcdn/internal/content"
+	"github.com/ytcdn-sim/ytcdn/internal/core"
+	"github.com/ytcdn-sim/ytcdn/internal/des"
+	"github.com/ytcdn-sim/ytcdn/internal/geo"
+	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
+	"github.com/ytcdn-sim/ytcdn/internal/netmodel"
+	"github.com/ytcdn-sim/ytcdn/internal/stats"
+	"github.com/ytcdn-sim/ytcdn/internal/topology"
+)
+
+// Config tunes player-side behaviour.
+type Config struct {
+	// PreludeProb is the probability a session opens with a short
+	// control exchange (e.g. format negotiation) before the video
+	// request, producing the paper's (preferred, preferred) two-flow
+	// sessions (Fig 10b).
+	PreludeProb float64
+	// FollowUpProb is the probability the user interacts with the
+	// player (seek, resolution change) causing an extra video flow
+	// after a multi-second gap — the flows that merge into one session
+	// only at large T in Fig 5.
+	FollowUpProb float64
+	// FollowUpGapMin/Max bound the user-interaction gap.
+	FollowUpGapMin, FollowUpGapMax time.Duration
+	// RedirectGapMax bounds the client-side pause between a redirect
+	// control flow and the next connection (well under the paper's
+	// T=1s so system-triggered flows stay in one session).
+	RedirectGapMax time.Duration
+	// ControlBytesMin/Max bound control-flow sizes; they must stay
+	// below the paper's 1000-byte classification threshold.
+	ControlBytesMin, ControlBytesMax int64
+	// WatchFullProb is the probability a viewer watches to the end.
+	WatchFullProb float64
+	// MinWatchFrac is the minimum watched fraction for early-abort
+	// viewers.
+	MinWatchFrac float64
+	// StartupDelay is the fixed connection+buffering overhead added to
+	// every video flow's lifetime.
+	StartupDelay time.Duration
+}
+
+// DefaultConfig returns calibrated player behaviour.
+func DefaultConfig() Config {
+	return Config{
+		PreludeProb:     0.085,
+		FollowUpProb:    0.19,
+		FollowUpGapMin:  12 * time.Second,
+		FollowUpGapMax:  650 * time.Second,
+		RedirectGapMax:  400 * time.Millisecond,
+		ControlBytesMin: 220,
+		ControlBytesMax: 980,
+		WatchFullProb:   0.55,
+		MinWatchFrac:    0.04,
+		StartupDelay:    700 * time.Millisecond,
+	}
+}
+
+// Request is one user-initiated video session.
+type Request struct {
+	VP     int // index into World.VantagePoints
+	Subnet *topology.Subnet
+	Client ipnet.Addr
+	Video  content.VideoID
+	Res    content.Resolution
+}
+
+// Simulator executes sessions. It owns no clock of its own: callers
+// schedule SubmitSession on the shared des.Engine.
+type Simulator struct {
+	w    *topology.World
+	cat  *content.Catalog
+	sel  *core.Selector
+	eng  *des.Engine
+	sink capture.Sink
+	cfg  Config
+	g    *stats.RNG
+
+	// vpEndpoints caches per-VP network endpoints.
+	vpEndpoints []netmodel.Endpoint
+	// homes caches per-VP origin parameters.
+	homes []core.Home
+
+	sessions int
+	flows    int
+}
+
+// NewSimulator wires a simulator over a world.
+func NewSimulator(w *topology.World, cat *content.Catalog, sel *core.Selector,
+	eng *des.Engine, sink capture.Sink, cfg Config, g *stats.RNG) (*Simulator, error) {
+	if cfg.ControlBytesMax >= 1000 {
+		return nil, fmt.Errorf("cdn: ControlBytesMax %d crosses the 1000-byte video threshold", cfg.ControlBytesMax)
+	}
+	if cfg.ControlBytesMin <= 0 || cfg.ControlBytesMin > cfg.ControlBytesMax {
+		return nil, fmt.Errorf("cdn: bad control byte bounds [%d, %d]", cfg.ControlBytesMin, cfg.ControlBytesMax)
+	}
+	if cfg.MinWatchFrac <= 0 || cfg.MinWatchFrac > 1 {
+		return nil, fmt.Errorf("cdn: MinWatchFrac %g out of (0, 1]", cfg.MinWatchFrac)
+	}
+	s := &Simulator{w: w, cat: cat, sel: sel, eng: eng, sink: sink, cfg: cfg, g: g}
+	for _, vp := range w.VantagePoints {
+		s.vpEndpoints = append(s.vpEndpoints, vp.Endpoint())
+		s.homes = append(s.homes, core.HomeOf(vp))
+	}
+	return s, nil
+}
+
+// Sessions returns the number of sessions executed so far.
+func (s *Simulator) Sessions() int { return s.sessions }
+
+// Flows returns the number of flows emitted so far.
+func (s *Simulator) Flows() int { return s.flows }
+
+// SubmitSession executes a session starting at the engine's current
+// time. It must be called from within an engine event.
+func (s *Simulator) SubmitSession(req Request) {
+	s.sessions++
+	vp := s.w.VantagePoints[req.VP]
+
+	// Quirk paths: residual legacy YouTube-EU servers and third-party
+	// caches, reached outside Google's DNS selection (Table II).
+	if s.g.Bool(vp.LegacyProb) {
+		s.serveFromClass(req, topology.ClassLegacyEU)
+		return
+	}
+	if s.g.Bool(vp.ThirdPartyProb) {
+		s.serveFromClass(req, topology.ClassThirdParty)
+		return
+	}
+
+	s.runChain(req, s.eng.Now(), 1.0)
+
+	// User interaction: an extra, shorter video flow after a gap that
+	// exceeds T=1s (new session at small T, same session at large T).
+	if s.g.Bool(s.cfg.FollowUpProb) {
+		gap := time.Duration(s.g.Uniform(float64(s.cfg.FollowUpGapMin), float64(s.cfg.FollowUpGapMax)))
+		req := req
+		s.eng.ScheduleAfter(gap, func() {
+			s.runChain(req, s.eng.Now(), 0.3)
+		})
+	}
+}
+
+// runChain performs DNS resolution and the serve-or-redirect chain,
+// emitting control flows for each redirect and one final video flow.
+// watchScale shrinks the watched fraction (for follow-up interactions).
+func (s *Simulator) runChain(req Request, start time.Duration, watchScale float64) {
+	vp := s.w.VantagePoints[req.VP]
+	ldns := req.Subnet.LDNS
+	home := s.homes[req.VP]
+
+	t := start
+	srv := s.sel.ResolveDNS(ldns, req.Video, s.g)
+
+	// Optional control prelude to the resolved server.
+	if s.g.Bool(s.cfg.PreludeProb) {
+		t = s.emitControl(vp, req, srv, t)
+	}
+
+	maxHops := s.maxRedirects()
+	for hop := 0; hop < maxHops; hop++ {
+		d := s.sel.ServeOrRedirect(srv, req.Video, ldns, home)
+		if !d.Redirected {
+			break
+		}
+		// The refused connection is a short control flow.
+		t = s.emitControl(vp, req, srv, t)
+		srv = d.Target
+	}
+	s.emitVideo(vp, req, srv, t, watchScale)
+}
+
+// maxRedirects reads the engine's bound from the selector config via
+// the world build; chains are short in practice.
+func (s *Simulator) maxRedirects() int { return 3 }
+
+// serveFromClass serves a session from a uniformly chosen server of a
+// legacy/third-party pool. American networks are pinned to the
+// US-located residue of the old infrastructure (the paper's US-Campus
+// sees ~310 distinct AS-43515 servers against Europe's ~550, Table
+// II), while European networks draw from the whole footprint.
+func (s *Simulator) serveFromClass(req Request, class topology.ServerClass) {
+	vp := s.w.VantagePoints[req.VP]
+	var same, all []*topology.Server
+	for _, srv := range s.w.ServersOfClass(class) {
+		all = append(all, srv)
+		if s.w.DC(srv.DC).City.Continent == vp.HomeContinent() {
+			same = append(same, srv)
+		}
+	}
+	if len(all) == 0 {
+		return
+	}
+	pool := all
+	if vp.HomeContinent() == geo.NorthAmerica && len(same) > 0 {
+		pool = same
+	}
+	srv := pool[s.g.Intn(len(pool))]
+	s.emitVideo(vp, req, srv.ID, s.eng.Now(), 1.0)
+}
+
+// emitControl records a sub-1000-byte control flow to srv starting at
+// t and returns the time the client moves on.
+func (s *Simulator) emitControl(vp *topology.VantagePoint, req Request, srv topology.ServerID, t time.Duration) time.Duration {
+	rtt := s.w.Net.SampleRTT(s.vpEndpoints[req.VP], s.serverEndpoint(srv), s.g)
+	dur := 2*rtt + time.Duration(s.g.Uniform(10, 60))*time.Millisecond
+	bytes := int64(s.g.Uniform(float64(s.cfg.ControlBytesMin), float64(s.cfg.ControlBytesMax)))
+	s.record(vp.Name, capture.FlowRecord{
+		Client:     req.Client,
+		Server:     s.w.Server(srv).Addr,
+		Start:      t,
+		End:        t + dur,
+		Bytes:      bytes,
+		VideoID:    content.StringID(req.Video),
+		Resolution: req.Res.String(),
+	})
+	gap := time.Duration(s.g.Uniform(0, float64(s.cfg.RedirectGapMax)))
+	return t + dur + gap
+}
+
+// emitVideo records the video flow at srv and manages load accounting.
+func (s *Simulator) emitVideo(vp *topology.VantagePoint, req Request, srv topology.ServerID, t time.Duration, watchScale float64) {
+	watch := 1.0
+	if !s.g.Bool(s.cfg.WatchFullProb) {
+		watch = s.g.Uniform(s.cfg.MinWatchFrac, 1)
+	}
+	watch *= watchScale
+	if watch > 1 {
+		watch = 1
+	}
+
+	fullBytes := float64(s.cat.SizeBytes(req.Video, req.Res)) * vp.SizeScale
+	bytes := int64(fullBytes * watch)
+	if bytes < 1000 {
+		bytes = 1000 // a video flow is ≥ the classification threshold
+	}
+	dur := time.Duration(watch*s.cat.Duration(req.Video).Seconds()*float64(time.Second)) + s.cfg.StartupDelay
+
+	s.sel.BeginFlow(srv)
+	end := t + dur
+	s.eng.Schedule(end, func() { s.sel.EndFlow(srv) })
+
+	s.record(vp.Name, capture.FlowRecord{
+		Client:     req.Client,
+		Server:     s.w.Server(srv).Addr,
+		Start:      t,
+		End:        end,
+		Bytes:      bytes,
+		VideoID:    content.StringID(req.Video),
+		Resolution: req.Res.String(),
+	})
+}
+
+func (s *Simulator) serverEndpoint(id topology.ServerID) netmodel.Endpoint {
+	return s.w.DC(s.w.Server(id).DC).Endpoint()
+}
+
+func (s *Simulator) record(dataset string, rec capture.FlowRecord) {
+	s.flows++
+	s.sink.Record(dataset, rec)
+}

@@ -1,0 +1,40 @@
+package core
+
+import "fmt"
+
+// LoadTracker counts concurrent units (flows or sessions) per entity.
+// Acquire/Release must balance; the tracker panics on negative counts
+// because that always indicates a simulator bug that would corrupt
+// every load-dependent result downstream.
+type LoadTracker struct {
+	counts []int
+	label  string
+}
+
+// NewLoadTracker creates a tracker for n entities.
+func NewLoadTracker(label string, n int) *LoadTracker {
+	return &LoadTracker{counts: make([]int, n), label: label}
+}
+
+// Acquire increments the load of entity i.
+func (lt *LoadTracker) Acquire(i int) { lt.counts[i]++ }
+
+// Release decrements the load of entity i.
+func (lt *LoadTracker) Release(i int) {
+	lt.counts[i]--
+	if lt.counts[i] < 0 {
+		panic(fmt.Sprintf("core: %s load of entity %d went negative", lt.label, i))
+	}
+}
+
+// Load returns the current load of entity i.
+func (lt *LoadTracker) Load(i int) int { return lt.counts[i] }
+
+// Total returns the summed load across entities.
+func (lt *LoadTracker) Total() int {
+	sum := 0
+	for _, c := range lt.counts {
+		sum += c
+	}
+	return sum
+}

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ytcdn-sim/ytcdn/internal/content"
+	"github.com/ytcdn-sim/ytcdn/internal/geo"
+	"github.com/ytcdn-sim/ytcdn/internal/stats"
+	"github.com/ytcdn-sim/ytcdn/internal/topology"
+)
+
+// Config tunes the selection engine.
+type Config struct {
+	// MaxRedirects bounds an application-layer redirect chain.
+	MaxRedirects int
+	// DNSLoadBalancing enables adaptive spilling away from an
+	// overloaded preferred DC. Disabling it is the §VII-A ablation.
+	DNSLoadBalancing bool
+	// HotspotRedirection enables server-level overload redirects.
+	// Disabling it is the §VII-C hot-spot ablation.
+	HotspotRedirection bool
+	// SpillCandidates is how many next-best DCs a spilled resolution
+	// considers.
+	SpillCandidates int
+}
+
+// DefaultConfig returns the engine configuration matching the paper's
+// observed behaviour.
+func DefaultConfig() Config {
+	return Config{
+		MaxRedirects:       3,
+		DNSLoadBalancing:   true,
+		HotspotRedirection: true,
+		SpillCandidates:    3,
+	}
+}
+
+// Decision is a content server's answer to a video request.
+type Decision struct {
+	// Redirected is false when the contacted server serves the video.
+	Redirected bool
+	// Target is the server the client is redirected to (valid when
+	// Redirected).
+	Target topology.ServerID
+	// Reason records why the request was redirected, for ablation
+	// accounting; it is ground truth the analysis pipeline never sees.
+	Reason RedirectReason
+}
+
+// RedirectReason labels the cause of an application-layer redirect.
+type RedirectReason int
+
+// Redirect reasons.
+const (
+	ReasonNone    RedirectReason = iota
+	ReasonMiss                   // video absent at this data center
+	ReasonHotspot                // server above capacity
+)
+
+// String implements fmt.Stringer.
+func (r RedirectReason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonMiss:
+		return "miss"
+	case ReasonHotspot:
+		return "hotspot"
+	default:
+		return "invalid"
+	}
+}
+
+// Selector is the server-selection engine: the authoritative DNS
+// policy plus the content servers' serve-or-redirect logic, sharing
+// load trackers and the placement layer. Not safe for concurrent use.
+type Selector struct {
+	w         *topology.World
+	placement *Placement
+	cfg       Config
+
+	// prefByLDNS is the ground-truth preferred DC per local DNS
+	// server: RTT-best unless overridden by assignment policy.
+	prefByLDNS []topology.DataCenterID
+	// rankByLDNS lists Google DCs in increasing RTT order per LDNS.
+	rankByLDNS [][]topology.DataCenterID
+
+	dcFlows  *LoadTracker // concurrent video flows per DC (DNS view)
+	srvSess  *LoadTracker // concurrent sessions per server
+	spills   int          // DNS spill count (ablation accounting)
+	hotspots int          // hotspot redirect count
+	misses   int          // miss redirect count
+}
+
+// NewSelector builds the engine for a world. The preferred map is
+// computed from base RTTs between each vantage point and each Google
+// DC, then patched with the world's assignment-policy overrides.
+func NewSelector(w *topology.World, placement *Placement, cfg Config) (*Selector, error) {
+	if cfg.MaxRedirects < 1 {
+		return nil, fmt.Errorf("core: MaxRedirects must be >= 1, got %d", cfg.MaxRedirects)
+	}
+	if cfg.SpillCandidates < 1 {
+		return nil, fmt.Errorf("core: SpillCandidates must be >= 1, got %d", cfg.SpillCandidates)
+	}
+	s := &Selector{
+		w:          w,
+		placement:  placement,
+		cfg:        cfg,
+		prefByLDNS: make([]topology.DataCenterID, len(w.LDNSes)),
+		rankByLDNS: make([][]topology.DataCenterID, len(w.LDNSes)),
+		dcFlows:    NewLoadTracker("dc-flows", len(w.DataCenters)),
+		srvSess:    NewLoadTracker("server-sessions", len(w.Servers)),
+	}
+	google := w.GoogleDCs()
+	for _, ldns := range w.LDNSes {
+		vp := w.VantagePoints[ldns.VantagePoint]
+		ep := vp.Endpoint()
+		ranked := make([]topology.DataCenterID, len(google))
+		copy(ranked, google)
+		sort.Slice(ranked, func(i, j int) bool {
+			return w.Net.BaseRTT(ep, w.DC(ranked[i]).Endpoint()) <
+				w.Net.BaseRTT(ep, w.DC(ranked[j]).Endpoint())
+		})
+		s.rankByLDNS[ldns.ID] = ranked
+		if dc, ok := w.PreferredOverrides[ldns.ID]; ok {
+			s.prefByLDNS[ldns.ID] = dc
+		} else {
+			s.prefByLDNS[ldns.ID] = ranked[0]
+		}
+	}
+	return s, nil
+}
+
+// Preferred returns the ground-truth preferred DC of an LDNS.
+func (s *Selector) Preferred(id topology.LDNSID) topology.DataCenterID {
+	return s.prefByLDNS[id]
+}
+
+// RankedDCs returns the LDNS's Google DCs in increasing RTT order.
+func (s *Selector) RankedDCs(id topology.LDNSID) []topology.DataCenterID {
+	return s.rankByLDNS[id]
+}
+
+// serverFor returns the server a video maps to inside a DC, by
+// consistent hashing. One server absorbs all of a video's load within
+// a DC — the precondition for hot-spots.
+func (s *Selector) serverFor(dc topology.DataCenterID, v content.VideoID) topology.ServerID {
+	fleet := s.w.DC(dc).Servers
+	idx := hashU64("video-server", int64(dc), int64(v)) % uint64(len(fleet))
+	return fleet[idx].ID
+}
+
+// ResolveDNS models step 3 of the paper's Fig 1: the authoritative DNS
+// answers the LDNS's query for a video-specific content hostname. It
+// returns the server the client will contact first. With DNS load
+// balancing on, an overloaded preferred DC sheds a load-proportional
+// fraction of resolutions to the next-best DCs.
+func (s *Selector) ResolveDNS(id topology.LDNSID, v content.VideoID, g *stats.RNG) topology.ServerID {
+	pref := s.prefByLDNS[id]
+	dc := pref
+	if s.cfg.DNSLoadBalancing {
+		cap := s.w.DC(pref).DNSCapacity
+		load := s.dcFlows.Load(int(pref))
+		if cap > 0 && load >= cap {
+			// The data center is full: spill this resolution. Keeping
+			// accepted concurrency pinned at capacity makes the
+			// accepted fraction track capacity/demand, which is the
+			// paper's Fig 11 behaviour (the internal DC serves ~100%
+			// at night and ~30% at daytime overload).
+			dc = s.spillTarget(id, v, g)
+			if dc != pref {
+				s.spills++
+			}
+		}
+	}
+	return s.serverFor(dc, v)
+}
+
+// spillTarget picks the spill DC: the next-ranked DCs after the
+// preferred, skipping ones that are themselves above DNS capacity.
+func (s *Selector) spillTarget(id topology.LDNSID, v content.VideoID, g *stats.RNG) topology.DataCenterID {
+	ranked := s.rankByLDNS[id]
+	candidates := make([]topology.DataCenterID, 0, s.cfg.SpillCandidates)
+	for _, dc := range ranked {
+		if dc == s.prefByLDNS[id] {
+			continue
+		}
+		cap := s.w.DC(dc).DNSCapacity
+		if cap > 0 && s.dcFlows.Load(int(dc)) > cap {
+			continue
+		}
+		candidates = append(candidates, dc)
+		if len(candidates) == s.cfg.SpillCandidates {
+			break
+		}
+	}
+	if len(candidates) == 0 {
+		return s.prefByLDNS[id]
+	}
+	// Strongly favour the closest spill candidate: the paper's EU2
+	// sees essentially one external data center absorb the spill.
+	if len(candidates) == 1 || g.Bool(0.95) {
+		return candidates[0]
+	}
+	return candidates[1+g.Intn(len(candidates)-1)]
+}
+
+// Home carries the requester-side origin parameters of a vantage
+// point: its continent plus the foreign-tail bias (see Placement).
+type Home struct {
+	Continent   geo.Continent
+	ForeignProb float64
+	Weights     map[geo.Continent]float64
+}
+
+// HomeOf derives the Home parameters of a vantage point.
+func HomeOf(vp *topology.VantagePoint) Home {
+	return Home{
+		Continent:   vp.HomeContinent(),
+		ForeignProb: vp.TailForeignProb,
+		Weights:     vp.ForeignWeights,
+	}
+}
+
+// ServeOrRedirect models step 4 of Fig 1: the contacted server either
+// serves the video or answers with a redirect. home parameterizes
+// tail-video origin lookup for the requesting network (see Placement).
+func (s *Selector) ServeOrRedirect(srv topology.ServerID, v content.VideoID, ldns topology.LDNSID, home Home) Decision {
+	server := s.w.Server(srv)
+	dc := server.DC
+
+	// Cause (iv): the data center does not hold the video. Redirect
+	// toward the closest origin copy and pull the video through so
+	// only the first access pays (paper Figs 17/18).
+	if !s.placement.Has(dc, v, home.Continent, home.ForeignProb, home.Weights) {
+		origins := s.placement.Origins(v, home.Continent, home.ForeignProb, home.Weights)
+		target := s.pickOrigin(ldns, v, origins)
+		s.placement.Pull(dc, v)
+		s.misses++
+		return Decision{Redirected: true, Target: s.serverFor(target, v), Reason: ReasonMiss}
+	}
+
+	// Cause (iii): the hashed server is above capacity; shed to a
+	// server in a non-preferred data center.
+	if s.cfg.HotspotRedirection && server.Capacity > 0 && s.srvSess.Load(int(srv)) >= server.Capacity {
+		target := s.hotspotTarget(ldns, dc)
+		if target != dc {
+			s.hotspots++
+			return Decision{Redirected: true, Target: s.serverFor(target, v), Reason: ReasonHotspot}
+		}
+	}
+	return Decision{}
+}
+
+// pickOrigin chooses which origin copy a miss is redirected to:
+// usually the closest to the requester, but a quarter of videos
+// (deterministically, by hash) use another copy — origin selection in
+// the real CDN balances load as well as proximity, and this spread is
+// what makes traces touch servers in nearly every data center of the
+// requester's continent (Table III).
+func (s *Selector) pickOrigin(id topology.LDNSID, v content.VideoID, origins []topology.DataCenterID) topology.DataCenterID {
+	if len(origins) > 1 && hashU64("origin-pick", int64(v))%4 == 0 {
+		alt := origins[hashU64("origin-alt", int64(v))%uint64(len(origins))]
+		if alt != s.closestTo(id, origins) {
+			return alt
+		}
+		return origins[hashU64("origin-alt2", int64(v))%uint64(len(origins))]
+	}
+	return s.closestTo(id, origins)
+}
+
+// closestTo returns the candidate DC ranked best for the LDNS. The
+// candidates slice is never empty in practice (origins of a tail video
+// always exist); if it were, the preferred DC is returned.
+func (s *Selector) closestTo(id topology.LDNSID, candidates []topology.DataCenterID) topology.DataCenterID {
+	if len(candidates) == 0 {
+		return s.prefByLDNS[id]
+	}
+	in := make(map[topology.DataCenterID]bool, len(candidates))
+	for _, dc := range candidates {
+		in[dc] = true
+	}
+	for _, dc := range s.rankByLDNS[id] {
+		if in[dc] {
+			return dc
+		}
+	}
+	return candidates[0]
+}
+
+// hotspotTarget picks where an overloaded server sheds a request: the
+// best-ranked DC other than its own whose DC-level load is within DNS
+// capacity. Returns the server's own DC when nothing qualifies.
+func (s *Selector) hotspotTarget(id topology.LDNSID, own topology.DataCenterID) topology.DataCenterID {
+	for _, dc := range s.rankByLDNS[id] {
+		if dc == own {
+			continue
+		}
+		cap := s.w.DC(dc).DNSCapacity
+		if cap > 0 && s.dcFlows.Load(int(dc)) > cap {
+			continue
+		}
+		return dc
+	}
+	return own
+}
+
+// BeginFlow records a video flow starting at server srv: the server
+// gains a session and its DC gains a flow. The caller must invoke
+// EndFlow exactly once when the flow finishes.
+func (s *Selector) BeginFlow(srv topology.ServerID) {
+	s.srvSess.Acquire(int(srv))
+	s.dcFlows.Acquire(int(s.w.Server(srv).DC))
+}
+
+// EndFlow balances BeginFlow.
+func (s *Selector) EndFlow(srv topology.ServerID) {
+	s.srvSess.Release(int(srv))
+	s.dcFlows.Release(int(s.w.Server(srv).DC))
+}
+
+// DCLoad returns the current concurrent flow count of a DC.
+func (s *Selector) DCLoad(dc topology.DataCenterID) int { return s.dcFlows.Load(int(dc)) }
+
+// ServerLoad returns the current concurrent session count of a server.
+func (s *Selector) ServerLoad(srv topology.ServerID) int { return s.srvSess.Load(int(srv)) }
+
+// Counters returns ground-truth mechanism counts (DNS spills, hotspot
+// redirects, miss redirects) for ablation studies.
+func (s *Selector) Counters() (spills, hotspots, misses int) {
+	return s.spills, s.hotspots, s.misses
+}
+
+// ServerForVideo exposes the within-DC consistent hash (used by the
+// probe harness and tests).
+func (s *Selector) ServerForVideo(dc topology.DataCenterID, v content.VideoID) topology.ServerID {
+	return s.serverFor(dc, v)
+}
+
+// PlacementOrigins exposes the origin set of a tail video for a
+// requester (convenience for experiments and tests).
+func (s *Selector) PlacementOrigins(v content.VideoID, home Home) []topology.DataCenterID {
+	return s.placement.Origins(v, home.Continent, home.ForeignProb, home.Weights)
+}

@@ -1,0 +1,96 @@
+// Package des is a minimal deterministic discrete-event simulation
+// engine: a time-ordered event queue with a monotonically advancing
+// clock. Ties are broken by scheduling order, so a run is a pure
+// function of its inputs.
+package des
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine runs events in non-decreasing time order. The zero value is
+// ready to use. Engine is not safe for concurrent use; the simulator
+// is single-threaded by design so that runs are reproducible.
+type Engine struct {
+	queue eventHeap
+	now   time.Duration
+	seq   uint64
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	run func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues run at the given absolute simulated time. Events
+// scheduled in the past execute at the current time (the clock never
+// moves backwards).
+func (e *Engine) Schedule(at time.Duration, run func()) {
+	if at < e.now {
+		at = e.now
+	}
+	heap.Push(&e.queue, event{at: at, seq: e.seq, run: run})
+	e.seq++
+}
+
+// ScheduleAfter enqueues run delay after the current time.
+func (e *Engine) ScheduleAfter(delay time.Duration, run func()) {
+	e.Schedule(e.now+delay, run)
+}
+
+// Step executes the earliest event. It returns false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.at
+	ev.run()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= deadline, advancing the clock
+// to exactly deadline afterwards. Events beyond the deadline stay
+// queued.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,112 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunInTimeOrder(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("execution order = %v", got)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", got)
+		}
+	}
+}
+
+func TestScheduleDuringRun(t *testing.T) {
+	var e Engine
+	var got []string
+	e.Schedule(time.Second, func() {
+		got = append(got, "first")
+		e.ScheduleAfter(time.Second, func() { got = append(got, "second") })
+	})
+	e.Run()
+	if len(got) != 2 || got[1] != "second" {
+		t.Errorf("got %v", got)
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestSchedulePastClamps(t *testing.T) {
+	var e Engine
+	fired := time.Duration(-1)
+	e.Schedule(5*time.Second, func() {
+		e.Schedule(time.Second, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 5*time.Second {
+		t.Errorf("past event fired at %v, want clamped to 5s", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(5*time.Second, func() { got = append(got, 5) })
+	e.RunUntil(3 * time.Second)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("got %v", got)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	e.Run()
+	if len(got) != 2 {
+		t.Errorf("remaining event lost: %v", got)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Error("Step on empty engine must return false")
+	}
+}
+
+func TestManyEventsOrdered(t *testing.T) {
+	var e Engine
+	const n = 10000
+	prev := time.Duration(-1)
+	ok := true
+	for i := 0; i < n; i++ {
+		at := time.Duration((i*7919)%n) * time.Millisecond
+		e.Schedule(at, func() {
+			if e.Now() < prev {
+				ok = false
+			}
+			prev = e.Now()
+		})
+	}
+	e.Run()
+	if !ok {
+		t.Error("clock went backwards")
+	}
+}

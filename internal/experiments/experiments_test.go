@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/capture"
+	"github.com/ytcdn-sim/ytcdn/internal/cdn"
+	"github.com/ytcdn-sim/ytcdn/internal/content"
+	"github.com/ytcdn-sim/ytcdn/internal/core"
+	"github.com/ytcdn-sim/ytcdn/internal/des"
+	"github.com/ytcdn-sim/ytcdn/internal/stats"
+	"github.com/ytcdn-sim/ytcdn/internal/topology"
+	"github.com/ytcdn-sim/ytcdn/internal/workload"
+)
+
+// buildInput assembles a tiny two-day study without going through the
+// public facade (the experiments package cannot import the root
+// package).
+func buildInput(t *testing.T) Input {
+	t.Helper()
+	const seed = 7
+	span := 2 * 24 * time.Hour
+	w, err := topology.BuildPaperWorld(topology.PaperConfig{Scale: 0.02, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := content.NewCatalog(content.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.NewPlacement(w, cat, core.OriginPolicy{CopiesPerVideo: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := core.NewSelector(w, pl, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eng des.Engine
+	sink := capture.NewMemSink()
+	root := stats.NewRNG(seed)
+	sim, err := cdn.NewSimulator(w, cat, sel, &eng, sink, cdn.DefaultConfig(), root.Fork("player"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.VantagePoints {
+		gen, err := workload.NewGenerator(w, i, cat, span, root.Fork("wl-"+w.VantagePoints[i].Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen.Schedule(&eng, sim.SubmitSession)
+	}
+	eng.Run()
+
+	traces := make(map[string][]capture.FlowRecord)
+	for _, name := range topology.DatasetNames() {
+		traces[name] = sink.Trace(name)
+	}
+	return Input{World: w, Catalog: cat, Placement: pl, Traces: traces, Span: span, Seed: seed}
+}
+
+func TestRunAllRendersEveryExperiment(t *testing.T) {
+	h := New(buildInput(t))
+	var buf bytes.Buffer
+	if err := h.RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"TABLE I", "TABLE II", "TABLE III",
+		"FIG 2", "FIG 3", "FIG 4", "FIG 5", "FIG 6", "FIG 7", "FIG 8",
+		"FIG 9", "FIG 10a", "FIG 10b", "FIG 11", "FIG 12", "FIG 13",
+		"FIG 14", "FIG 15", "FIG 16", "FIG 17", "FIG 18",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	for _, name := range topology.DatasetNames() {
+		if !strings.Contains(out, name) {
+			t.Errorf("output missing dataset %s", name)
+		}
+	}
+}
+
+func TestHarnessCaching(t *testing.T) {
+	h := New(buildInput(t))
+	r1, err := h.Geolocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := h.Geolocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &r1 == &r2 {
+		t.Skip("map headers differ") // defensive; maps compared below
+	}
+	if len(r1) != len(r2) {
+		t.Error("geolocation not cached consistently")
+	}
+	ds1, err := h.Dataset(topology.DatasetEU2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := h.Dataset(topology.DatasetEU2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds1 != ds2 {
+		t.Error("dataset artifacts not cached")
+	}
+}
+
+func TestDatasetUnknownName(t *testing.T) {
+	h := New(buildInput(t))
+	if _, err := h.Dataset("nope"); err == nil {
+		t.Error("unknown dataset must error")
+	}
+}
+
+func TestDatasetNamesOrder(t *testing.T) {
+	h := New(buildInput(t))
+	names := h.DatasetNames()
+	want := topology.DatasetNames()
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range names {
+		if names[i] != want[i] {
+			t.Errorf("order mismatch at %d: %s vs %s", i, names[i], want[i])
+		}
+	}
+}

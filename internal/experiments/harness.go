@@ -1,0 +1,232 @@
+// Package experiments regenerates every table and figure of the paper
+// from simulated traces and active measurements. Each experiment is a
+// method on Harness returning a result struct with the numbers the
+// paper plots; render.go turns them into paper-style text output.
+//
+// The harness caches the expensive shared artifacts — ping campaigns,
+// CBG calibration and per-server geolocation, per-dataset
+// sessionization — so the full suite runs each step once.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/analysis"
+	"github.com/ytcdn-sim/ytcdn/internal/capture"
+	"github.com/ytcdn-sim/ytcdn/internal/content"
+	"github.com/ytcdn-sim/ytcdn/internal/core"
+	"github.com/ytcdn-sim/ytcdn/internal/geo"
+	"github.com/ytcdn-sim/ytcdn/internal/geoloc"
+	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
+	"github.com/ytcdn-sim/ytcdn/internal/probe"
+	"github.com/ytcdn-sim/ytcdn/internal/stats"
+	"github.com/ytcdn-sim/ytcdn/internal/topology"
+)
+
+// Input bundles what a study run produced.
+type Input struct {
+	World     *topology.World
+	Catalog   *content.Catalog
+	Placement *core.Placement
+	Traces    map[string][]capture.FlowRecord
+	Span      time.Duration
+	Seed      int64
+}
+
+// Harness runs experiments over one study. Not safe for concurrent
+// use.
+type Harness struct {
+	in     Input
+	prober *probe.Prober
+
+	// Lazily computed shared state.
+	allServers []ipnet.Addr
+	cbg        *geoloc.CBG
+	regions    map[ipnet.Addr]geoloc.Region
+	locations  map[ipnet.Addr]geo.Point
+	campaigns  map[string]map[ipnet.Addr]float64 // per-VP ping results (ms)
+	perDS      map[string]*dataset
+	plRuns     int // PlanetLab invocations (each uploads a fresh video)
+}
+
+// dataset caches per-trace analysis artifacts.
+type dataset struct {
+	vp       *topology.VantagePoint
+	raw      []capture.FlowRecord
+	google   []capture.FlowRecord // §IV filter applied
+	video    []capture.FlowRecord
+	control  []capture.FlowRecord
+	dcmap    *analysis.DCMap
+	pref     analysis.PreferredResult
+	sessions []analysis.Session // T = 1s over google flows
+}
+
+// New builds a harness.
+func New(in Input) *Harness {
+	return &Harness{
+		in:        in,
+		prober:    probe.New(in.World, stats.NewRNG(in.Seed).Fork("probe")),
+		campaigns: make(map[string]map[ipnet.Addr]float64),
+		perDS:     make(map[string]*dataset),
+	}
+}
+
+// Input returns the harness input.
+func (h *Harness) Input() Input { return h.in }
+
+// servers returns the sorted union of distinct server addresses across
+// all traces.
+func (h *Harness) servers() []ipnet.Addr {
+	if h.allServers != nil {
+		return h.allServers
+	}
+	seen := make(map[ipnet.Addr]struct{})
+	for _, recs := range h.in.Traces {
+		for _, r := range recs {
+			seen[r.Server] = struct{}{}
+		}
+	}
+	out := make([]ipnet.Addr, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	h.allServers = out
+	return out
+}
+
+// campaign returns (caching) the per-server min-RTT ping results from
+// one vantage point, in milliseconds.
+func (h *Harness) campaign(vpName string) (map[ipnet.Addr]float64, error) {
+	if c, ok := h.campaigns[vpName]; ok {
+		return c, nil
+	}
+	targets := h.datasetServers(vpName)
+	c, err := h.prober.CampaignFromVP(vpName, targets, 10)
+	if err != nil {
+		return nil, err
+	}
+	h.campaigns[vpName] = c
+	return c, nil
+}
+
+// datasetServers returns the sorted distinct servers of one trace.
+func (h *Harness) datasetServers(vpName string) []ipnet.Addr {
+	seen := make(map[ipnet.Addr]struct{})
+	for _, r := range h.in.Traces[vpName] {
+		seen[r.Server] = struct{}{}
+	}
+	out := make([]ipnet.Addr, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Geolocate runs the full CBG pipeline once: calibrate bestlines on
+// the landmark cross-RTT matrix, then localize every distinct server
+// seen in any trace.
+func (h *Harness) Geolocate() (map[ipnet.Addr]geoloc.Region, error) {
+	if h.regions != nil {
+		return h.regions, nil
+	}
+	lms := h.prober.LandmarkInfos()
+	cross := h.prober.CrossRTTMatrix(5)
+	cbg, err := geoloc.Calibrate(lms, func(i, j int) time.Duration { return cross[i][j] })
+	if err != nil {
+		return nil, fmt.Errorf("experiments: CBG calibration: %w", err)
+	}
+	h.cbg = cbg
+	regions := make(map[ipnet.Addr]geoloc.Region, len(h.servers()))
+	locs := make(map[ipnet.Addr]geo.Point, len(h.servers()))
+	for _, addr := range h.servers() {
+		rtts, err := h.prober.LandmarkRTTs(addr, 3)
+		if err != nil {
+			continue
+		}
+		region := cbg.Locate(rtts)
+		regions[addr] = region
+		locs[addr] = region.Centroid
+	}
+	h.regions = regions
+	h.locations = locs
+	return regions, nil
+}
+
+// Locations returns the CBG position estimates per server.
+func (h *Harness) Locations() (map[ipnet.Addr]geo.Point, error) {
+	if _, err := h.Geolocate(); err != nil {
+		return nil, err
+	}
+	return h.locations, nil
+}
+
+// Dataset returns (computing on first use) the cached per-trace
+// analysis artifacts: the §IV Google filter, flow classification,
+// data-center clustering from CBG locations, the preferred DC, and
+// T=1s sessions.
+func (h *Harness) Dataset(name string) (*dataset, error) {
+	if ds, ok := h.perDS[name]; ok {
+		return ds, nil
+	}
+	idx := h.in.World.VPIndex(name)
+	if idx < 0 {
+		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+	}
+	vp := h.in.World.VantagePoints[idx]
+	raw, ok := h.in.Traces[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no trace for %q", name)
+	}
+	locs, err := h.Locations()
+	if err != nil {
+		return nil, err
+	}
+	google := analysis.GoogleFilter(raw, h.in.World.Registry, vp.AS.Number)
+	video, control := analysis.SplitFlows(google)
+
+	// Cluster only this dataset's Google servers (the paper clusters
+	// what each trace saw; /24 aggregation is implicit).
+	dsLocs := make(map[ipnet.Addr]geo.Point)
+	for _, r := range google {
+		if loc, ok := locs[r.Server]; ok {
+			dsLocs[r.Server] = loc
+		}
+	}
+	dcmap := analysis.BuildDCMap(dsLocs, 100)
+
+	rtts, err := h.campaign(name)
+	if err != nil {
+		return nil, err
+	}
+	pref := analysis.FindPreferred(video, dcmap, rtts, vp.City.Point)
+	sessions := analysis.Sessionize(google, time.Second)
+
+	ds := &dataset{
+		vp:       vp,
+		raw:      raw,
+		google:   google,
+		video:    video,
+		control:  control,
+		dcmap:    dcmap,
+		pref:     pref,
+		sessions: sessions,
+	}
+	h.perDS[name] = ds
+	return ds, nil
+}
+
+// DatasetNames returns the dataset names present in the input, in the
+// paper's order.
+func (h *Harness) DatasetNames() []string {
+	var out []string
+	for _, name := range topology.DatasetNames() {
+		if _, ok := h.in.Traces[name]; ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}

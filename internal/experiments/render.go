@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// renderable is any experiment result.
+type renderable interface{ Render() string }
+
+// RunAll executes every table and figure in paper order and writes the
+// rendered output to w. It stops at the first failing experiment.
+func (h *Harness) RunAll(w io.Writer) error {
+	steps := []struct {
+		name string
+		run  func() (renderable, error)
+	}{
+		{"Table I", func() (renderable, error) { return h.TableI() }},
+		{"Table II", func() (renderable, error) { return h.TableII() }},
+		{"Table III", func() (renderable, error) { return h.TableIII() }},
+		{"Fig 2", func() (renderable, error) { return h.Fig02RTT() }},
+		{"Fig 3", func() (renderable, error) { return h.Fig03CBGRadius() }},
+		{"Fig 4", func() (renderable, error) { return h.Fig04FlowSizes() }},
+		{"Fig 5", func() (renderable, error) { return h.Fig05SessionGapT() }},
+		{"Fig 6", func() (renderable, error) { return h.Fig06FlowsPerSession() }},
+		{"Fig 7", func() (renderable, error) { return h.Fig07BytesByRTT() }},
+		{"Fig 8", func() (renderable, error) { return h.Fig08BytesByDistance() }},
+		{"Fig 9", func() (renderable, error) { return h.Fig09NonPreferredHourly() }},
+		{"Fig 10", func() (renderable, error) { return h.Fig10SessionPatterns() }},
+		{"Fig 11", func() (renderable, error) { return h.Fig11EU2Diurnal() }},
+		{"Fig 12", func() (renderable, error) { return h.Fig12SubnetBias() }},
+		{"Fig 13", func() (renderable, error) { return h.Fig13VideoNonPref() }},
+		{"Fig 14", func() (renderable, error) { return h.Fig14HotVideos() }},
+		{"Fig 15", func() (renderable, error) { return h.Fig15ServerLoad() }},
+		{"Fig 16", func() (renderable, error) { return h.Fig16Video1Server() }},
+	}
+	for _, step := range steps {
+		res, err := step.run()
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", step.name, err)
+		}
+		if _, err := fmt.Fprintln(w, res.Render()); err != nil {
+			return err
+		}
+	}
+	fig17, fig18, err := h.PlanetLab()
+	if err != nil {
+		return fmt.Errorf("experiments: PlanetLab: %w", err)
+	}
+	if _, err := fmt.Fprintln(w, fig17.Render()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, fig18.Render()); err != nil {
+		return err
+	}
+	return nil
+}

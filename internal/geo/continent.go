@@ -1,0 +1,24 @@
+package geo
+
+// ContinentOf classifies a point into a continent using coarse
+// bounding boxes. It is the classifier the analysis pipeline applies
+// to *estimated* server positions (Table III), so it only needs to be
+// accurate to a few hundred kilometers around populated areas.
+func ContinentOf(p Point) Continent {
+	switch {
+	case p.Lon >= -170 && p.Lon <= -52 && p.Lat >= 14 && p.Lat <= 85:
+		return NorthAmerica
+	case p.Lon >= -90 && p.Lon <= -30 && p.Lat >= -60 && p.Lat < 14:
+		return SouthAmerica
+	case p.Lon >= -25 && p.Lon <= 45 && p.Lat >= 36 && p.Lat <= 72:
+		return Europe
+	case p.Lon >= 110 && p.Lon <= 180 && p.Lat >= -50 && p.Lat < -10:
+		return Oceania
+	case p.Lon > 45 && p.Lon <= 180 && p.Lat >= -12 && p.Lat <= 80:
+		return Asia
+	case p.Lon >= -20 && p.Lon <= 52 && p.Lat >= -35 && p.Lat < 36:
+		return Africa
+	default:
+		return ContinentUnknown
+	}
+}

@@ -1,0 +1,109 @@
+package geo
+
+// Gazetteer entries for every city used by the default world model.
+// Coordinates are approximate city centroids; the simulator only needs
+// them to be mutually consistent, not survey-grade.
+//
+// The paper found 33 data centers: 14 in Europe, 13 in the USA and 6
+// elsewhere (Section V). The DC list below matches that split. Vantage
+// point and landmark seed cities follow.
+
+// Data-center host cities: 13 in the USA.
+var (
+	MountainView  = City{"Mountain View", "US", NorthAmerica, Point{37.3861, -122.0839}}
+	TheDalles     = City{"The Dalles", "US", NorthAmerica, Point{45.5946, -121.1787}}
+	Seattle       = City{"Seattle", "US", NorthAmerica, Point{47.6062, -122.3321}}
+	LosAngeles    = City{"Los Angeles", "US", NorthAmerica, Point{34.0522, -118.2437}}
+	Dallas        = City{"Dallas", "US", NorthAmerica, Point{32.7767, -96.7970}}
+	CouncilBluffs = City{"Council Bluffs", "US", NorthAmerica, Point{41.2619, -95.8608}}
+	Chicago       = City{"Chicago", "US", NorthAmerica, Point{41.8781, -87.6298}}
+	Atlanta       = City{"Atlanta", "US", NorthAmerica, Point{33.7490, -84.3880}}
+	Miami         = City{"Miami", "US", NorthAmerica, Point{25.7617, -80.1918}}
+	WashingtonDC  = City{"Washington DC", "US", NorthAmerica, Point{38.9072, -77.0369}}
+	NewYork       = City{"New York", "US", NorthAmerica, Point{40.7128, -74.0060}}
+	Denver        = City{"Denver", "US", NorthAmerica, Point{39.7392, -104.9903}}
+	SaintLouis    = City{"Saint Louis", "US", NorthAmerica, Point{38.6270, -90.1994}}
+)
+
+// Data-center host cities: 14 in Europe.
+var (
+	London    = City{"London", "GB", Europe, Point{51.5074, -0.1278}}
+	Amsterdam = City{"Amsterdam", "NL", Europe, Point{52.3676, 4.9041}}
+	Frankfurt = City{"Frankfurt", "DE", Europe, Point{50.1109, 8.6821}}
+	Paris     = City{"Paris", "FR", Europe, Point{48.8566, 2.3522}}
+	Madrid    = City{"Madrid", "ES", Europe, Point{40.4168, -3.7038}}
+	Milan     = City{"Milan", "IT", Europe, Point{45.4642, 9.1900}}
+	Zurich    = City{"Zurich", "CH", Europe, Point{47.3769, 8.5417}}
+	Brussels  = City{"Brussels", "BE", Europe, Point{50.8503, 4.3517}}
+	Dublin    = City{"Dublin", "IE", Europe, Point{53.3498, -6.2603}}
+	Stockholm = City{"Stockholm", "SE", Europe, Point{59.3293, 18.0686}}
+	Hamburg   = City{"Hamburg", "DE", Europe, Point{53.5511, 9.9937}}
+	Vienna    = City{"Vienna", "AT", Europe, Point{48.2082, 16.3738}}
+	Warsaw    = City{"Warsaw", "PL", Europe, Point{52.2297, 21.0122}}
+	Lisbon    = City{"Lisbon", "PT", Europe, Point{38.7223, -9.1393}}
+)
+
+// Data-center host cities: 6 in other continents.
+var (
+	Tokyo        = City{"Tokyo", "JP", Asia, Point{35.6762, 139.6503}}
+	HongKong     = City{"Hong Kong", "HK", Asia, Point{22.3193, 114.1694}}
+	Singapore    = City{"Singapore", "SG", Asia, Point{1.3521, 103.8198}}
+	Sydney       = City{"Sydney", "AU", Oceania, Point{-33.8688, 151.2093}}
+	SaoPaulo     = City{"Sao Paulo", "BR", SouthAmerica, Point{-23.5505, -46.6333}}
+	BuenosAires  = City{"Buenos Aires", "AR", SouthAmerica, Point{-34.6037, -58.3816}}
+	Johannesburg = City{"Johannesburg", "ZA", Africa, Point{-26.2041, 28.0473}}
+	Mumbai       = City{"Mumbai", "IN", Asia, Point{19.0760, 72.8777}}
+	Taipei       = City{"Taipei", "TW", Asia, Point{25.0330, 121.5654}}
+)
+
+// Vantage-point cities. The paper anonymizes its networks; we pick
+// plausible stand-ins consistent with the text (a US midwest campus, an
+// Italian campus+ISP, and a second European country's largest ISP with
+// an in-network Google data center).
+var (
+	WestLafayette = City{"West Lafayette", "US", NorthAmerica, Point{40.4259, -86.9081}}
+	Turin         = City{"Turin", "IT", Europe, Point{45.0703, 7.6869}}
+	Bologna       = City{"Bologna", "IT", Europe, Point{44.4949, 11.3426}}
+	Budapest      = City{"Budapest", "HU", Europe, Point{47.4979, 19.0402}}
+)
+
+// DataCenterCities returns the 33 data-center host cities in a stable
+// order: 13 US, then 14 Europe, then 6 others. The slice is freshly
+// allocated on each call so callers may mutate it.
+func DataCenterCities() []City {
+	return []City{
+		// USA (13)
+		MountainView, TheDalles, Seattle, LosAngeles, Dallas,
+		CouncilBluffs, Chicago, Atlanta, Miami, WashingtonDC,
+		NewYork, Denver, SaintLouis,
+		// Europe (14). Budapest hosts the data center deployed inside
+		// the EU2 ISP's network (paper, Table II "Same AS" column).
+		London, Amsterdam, Frankfurt, Paris, Madrid, Milan, Zurich,
+		Brussels, Dublin, Stockholm, Budapest, Vienna, Warsaw, Lisbon,
+		// Others (6)
+		Tokyo, HongKong, Singapore, Sydney, SaoPaulo, BuenosAires,
+	}
+}
+
+// LandmarkSeedCities returns seed cities used to spread synthetic
+// PlanetLab-style landmarks with the paper's continental mix
+// (97 North America, 82 Europe, 24 Asia, 8 South America, 3 Oceania,
+// 1 Africa). Landmarks are placed at jittered offsets around these.
+func LandmarkSeedCities() []City {
+	return []City{
+		// North America seeds.
+		MountainView, Seattle, LosAngeles, Dallas, Chicago, Atlanta,
+		Miami, WashingtonDC, NewYork, Denver, SaintLouis, CouncilBluffs,
+		// Europe seeds.
+		London, Amsterdam, Frankfurt, Paris, Madrid, Milan, Zurich,
+		Brussels, Dublin, Stockholm, Vienna, Warsaw,
+		// Asia seeds.
+		Tokyo, HongKong, Singapore, Mumbai, Taipei,
+		// South America seeds.
+		SaoPaulo, BuenosAires,
+		// Oceania seed.
+		Sydney,
+		// Africa seed.
+		Johannesburg,
+	}
+}

@@ -1,0 +1,233 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	tests := []struct {
+		name   string
+		a, b   Point
+		wantKm float64
+		tolKm  float64
+	}{
+		{"same point", Point{45, 7}, Point{45, 7}, 0, 0.001},
+		{"london-paris", London.Point, Paris.Point, 344, 10},
+		{"nyc-la", NewYork.Point, LosAngeles.Point, 3936, 50},
+		{"london-nyc", London.Point, NewYork.Point, 5570, 60},
+		{"sydney-london", Sydney.Point, London.Point, 16994, 150},
+		{"equator quarter", Point{0, 0}, Point{0, 90}, math.Pi * EarthRadiusKm / 2, 1},
+		{"pole to pole", Point{90, 0}, Point{-90, 0}, math.Pi * EarthRadiusKm, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Distance(tt.a, tt.b)
+			if math.Abs(got-tt.wantKm) > tt.tolKm {
+				t.Errorf("Distance(%v, %v) = %.1f km, want %.1f±%.1f", tt.a, tt.b, got, tt.wantKm, tt.tolKm)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{Lat: math.Mod(lat1, 90), Lon: math.Mod(lon1, 180)}
+		b := Point{Lat: math.Mod(lat2, 90), Lon: math.Mod(lon2, 180)}
+		d1, d2 := Distance(a, b), Distance(b, a)
+		return math.Abs(d1-d2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceNonNegativeAndBounded(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{Lat: math.Mod(lat1, 90), Lon: math.Mod(lon1, 180)}
+		b := Point{Lat: math.Mod(lat2, 90), Lon: math.Mod(lon2, 180)}
+		d := Distance(a, b)
+		return d >= 0 && d <= math.Pi*EarthRadiusKm+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2, lat3, lon3 float64) bool {
+		a := Point{Lat: math.Mod(lat1, 90), Lon: math.Mod(lon1, 180)}
+		b := Point{Lat: math.Mod(lat2, 90), Lon: math.Mod(lon2, 180)}
+		c := Point{Lat: math.Mod(lat3, 90), Lon: math.Mod(lon3, 180)}
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	// Travelling d km away from a point must produce a point at
+	// great-circle distance d (for d well below half circumference).
+	f := func(latRaw, lonRaw, brgRaw, distRaw float64) bool {
+		start := Point{Lat: math.Mod(latRaw, 80), Lon: math.Mod(lonRaw, 180)}
+		bearing := math.Mod(math.Abs(brgRaw), 360)
+		dist := math.Mod(math.Abs(distRaw), 5000)
+		end := Destination(start, bearing, dist)
+		got := Distance(start, end)
+		return math.Abs(got-dist) < 1.0 // within 1 km
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDestinationZeroDistance(t *testing.T) {
+	p := Point{45.07, 7.69}
+	q := Destination(p, 123, 0)
+	if Distance(p, q) > 1e-6 {
+		t.Errorf("Destination with zero distance moved: %v -> %v", p, q)
+	}
+}
+
+func TestMidpointIsEquidistant(t *testing.T) {
+	pairs := [][2]Point{
+		{London.Point, NewYork.Point},
+		{Turin.Point, Madrid.Point},
+		{Tokyo.Point, Sydney.Point},
+	}
+	for _, pair := range pairs {
+		m := Midpoint(pair[0], pair[1])
+		d1, d2 := Distance(pair[0], m), Distance(pair[1], m)
+		if math.Abs(d1-d2) > 1.0 {
+			t.Errorf("Midpoint(%v, %v)=%v not equidistant: %.2f vs %.2f", pair[0], pair[1], m, d1, d2)
+		}
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{90, 180}, true},
+		{Point{-90, -180}, true},
+		{Point{91, 0}, false},
+		{Point{0, 181}, false},
+		{Point{-91, 0}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Valid(); got != tt.want {
+			t.Errorf("%v.Valid() = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestContinentString(t *testing.T) {
+	if NorthAmerica.String() != "N. America" {
+		t.Errorf("NorthAmerica.String() = %q", NorthAmerica.String())
+	}
+	if Continent(99).String() != "Continent(99)" {
+		t.Errorf("unknown continent String() = %q", Continent(99).String())
+	}
+}
+
+func TestContinentIsOther(t *testing.T) {
+	if NorthAmerica.IsOther() || Europe.IsOther() {
+		t.Error("NorthAmerica/Europe must not be Other")
+	}
+	for _, c := range []Continent{Asia, SouthAmerica, Oceania, Africa} {
+		if !c.IsOther() {
+			t.Errorf("%v must be Other", c)
+		}
+	}
+}
+
+func TestDataCenterCitiesSplit(t *testing.T) {
+	cities := DataCenterCities()
+	if len(cities) != 33 {
+		t.Fatalf("len(DataCenterCities()) = %d, want 33", len(cities))
+	}
+	var us, eu, other int
+	for _, c := range cities {
+		switch {
+		case c.Continent == NorthAmerica:
+			us++
+		case c.Continent == Europe:
+			eu++
+		default:
+			other++
+		}
+	}
+	// Paper, Section V: 14 in Europe, 13 in USA, 6 elsewhere.
+	if us != 13 || eu != 14 || other != 6 {
+		t.Errorf("continental split = US:%d EU:%d other:%d, want 13/14/6", us, eu, other)
+	}
+}
+
+func TestDataCenterCitiesDistinct(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, c := range DataCenterCities() {
+		if seen[c.Name] {
+			t.Errorf("duplicate data-center city %q", c.Name)
+		}
+		seen[c.Name] = true
+		if !c.Point.Valid() {
+			t.Errorf("city %q has invalid point %v", c.Name, c.Point)
+		}
+	}
+}
+
+func TestLandmarkSeedCitiesCoverContinents(t *testing.T) {
+	have := make(map[Continent]bool)
+	for _, c := range LandmarkSeedCities() {
+		have[c.Continent] = true
+	}
+	for _, want := range []Continent{NorthAmerica, Europe, Asia, SouthAmerica, Oceania, Africa} {
+		if !have[want] {
+			t.Errorf("landmark seeds missing continent %v", want)
+		}
+	}
+}
+
+func TestCityString(t *testing.T) {
+	if got := Turin.String(); got != "Turin, IT" {
+		t.Errorf("Turin.String() = %q", got)
+	}
+}
+
+func TestContinentOfClassifiesAllCities(t *testing.T) {
+	// The classifier must agree with the gazetteer for every city the
+	// world model uses — Table III depends on it.
+	all := append(DataCenterCities(), LandmarkSeedCities()...)
+	all = append(all, WestLafayette, Turin, Bologna, Budapest)
+	for _, c := range all {
+		if got := ContinentOf(c.Point); got != c.Continent {
+			t.Errorf("ContinentOf(%s) = %v, want %v", c.Name, got, c.Continent)
+		}
+	}
+}
+
+func TestContinentOfUnknownRegions(t *testing.T) {
+	// Mid-Pacific and Antarctic points classify as unknown.
+	for _, p := range []Point{{0, -150}, {-75, 60}} {
+		if got := ContinentOf(p); got != ContinentUnknown {
+			t.Errorf("ContinentOf(%v) = %v, want unknown", p, got)
+		}
+	}
+}
+
+func TestContinentOfNearCityJitter(t *testing.T) {
+	// CBG estimates carry tens of km of error; classification must be
+	// stable under a ~40 km displacement of each DC city.
+	for _, c := range DataCenterCities() {
+		for _, brg := range []float64{0, 90, 180, 270} {
+			p := Destination(c.Point, brg, 40)
+			if got := ContinentOf(p); got != c.Continent {
+				t.Errorf("ContinentOf(%s + 40km @ %v) = %v, want %v", c.Name, brg, got, c.Continent)
+			}
+		}
+	}
+}

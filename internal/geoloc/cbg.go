@@ -1,0 +1,320 @@
+// Package geoloc implements the two geolocation approaches the paper
+// contrasts in §V: a static IP-to-location database (which places
+// every Google server in Mountain View and is therefore useless for
+// this infrastructure) and CBG — Constraint-Based Geolocation (Gueye
+// et al., IEEE/ACM ToN 2006) — the delay-based multilateration the
+// authors actually use.
+//
+// CBG works in two phases. Calibration: each landmark measures RTTs to
+// all other landmarks (whose positions are known) and fits its
+// "bestline" — the lowest line lying above every (RTT, distance)
+// point, found on the upper convex hull. Location: the landmark's
+// bestline converts a measured RTT to the target into a distance upper
+// bound, i.e. a disc around the landmark; the target must lie in the
+// intersection of all discs. The centroid of the intersection is the
+// position estimate and sqrt(area/π) its confidence radius (Fig 3).
+package geoloc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/geo"
+)
+
+// LandmarkInfo is a measurement host with known position.
+type LandmarkInfo struct {
+	Name string
+	Loc  geo.Point
+}
+
+// Bestline is a landmark's calibrated RTT→distance conversion:
+// distance_km <= Slope * rtt_ms + InterceptKm.
+type Bestline struct {
+	SlopeKmPerMs float64
+	InterceptKm  float64
+}
+
+// maxSlopeKmPerMs is the physical limit: light in fiber covers ~100 km
+// per millisecond of RTT (200 km/ms one-way over half the RTT).
+const maxSlopeKmPerMs = 100.0
+
+// CBG is a calibrated constraint-based geolocator.
+type CBG struct {
+	landmarks []LandmarkInfo
+	lines     []Bestline
+}
+
+// Calibrate fits each landmark's bestline from the cross-RTT matrix
+// crossRTT(i, j), the measured (minimum) RTT between landmarks i and j.
+func Calibrate(landmarks []LandmarkInfo, crossRTT func(i, j int) time.Duration) (*CBG, error) {
+	if len(landmarks) < 3 {
+		return nil, fmt.Errorf("geoloc: CBG needs at least 3 landmarks, got %d", len(landmarks))
+	}
+	c := &CBG{landmarks: landmarks, lines: make([]Bestline, len(landmarks))}
+	for i := range landmarks {
+		pts := make([]point2, 0, len(landmarks)-1)
+		for j := range landmarks {
+			if i == j {
+				continue
+			}
+			rtt := crossRTT(i, j).Seconds() * 1000
+			dist := geo.Distance(landmarks[i].Loc, landmarks[j].Loc)
+			if rtt <= 0 {
+				continue
+			}
+			pts = append(pts, point2{x: rtt, y: dist})
+		}
+		line, err := fitBestline(pts)
+		if err != nil {
+			return nil, fmt.Errorf("geoloc: landmark %s: %w", landmarks[i].Name, err)
+		}
+		c.lines[i] = line
+	}
+	return c, nil
+}
+
+// Landmarks returns the calibrated landmark set.
+func (c *CBG) Landmarks() []LandmarkInfo { return c.landmarks }
+
+// Line returns landmark i's bestline.
+func (c *CBG) Line(i int) Bestline { return c.lines[i] }
+
+type point2 struct{ x, y float64 }
+
+// fitBestline solves the CBG linear program: minimize the total
+// overshoot sum(m*x_j + b - y_j) subject to every point lying on or
+// below the line and 0 < m <= maxSlope. The optimum is supported by an
+// edge of the upper convex hull (or by the slope clamp), so only hull
+// edges need to be evaluated.
+func fitBestline(pts []point2) (Bestline, error) {
+	if len(pts) < 2 {
+		return Bestline{}, fmt.Errorf("need at least 2 calibration points, got %d", len(pts))
+	}
+	hull := upperHull(pts)
+
+	var sumX, sumY float64
+	for _, p := range pts {
+		sumX += p.x
+		sumY += p.y
+	}
+	n := float64(len(pts))
+	// objective(m, b) = m*sumX + n*b - sumY (all constraints satisfied
+	// means every term non-negative).
+	objective := func(m, b float64) float64 { return m*sumX + n*b - sumY }
+	feasible := func(m, b float64) bool {
+		for _, p := range hull { // hull points dominate all others
+			if p.y > m*p.x+b+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+
+	best := Bestline{SlopeKmPerMs: maxSlopeKmPerMs, InterceptKm: 0}
+	bestObj := math.Inf(1)
+	if feasible(best.SlopeKmPerMs, best.InterceptKm) {
+		bestObj = objective(best.SlopeKmPerMs, best.InterceptKm)
+	}
+	consider := func(m, b float64) {
+		if m <= 0 || m > maxSlopeKmPerMs {
+			return
+		}
+		if !feasible(m, b) {
+			return
+		}
+		if obj := objective(m, b); obj < bestObj {
+			bestObj = obj
+			best = Bestline{SlopeKmPerMs: m, InterceptKm: b}
+		}
+	}
+	// Hull edges.
+	for i := 1; i < len(hull); i++ {
+		p, q := hull[i-1], hull[i]
+		if q.x == p.x {
+			continue
+		}
+		m := (q.y - p.y) / (q.x - p.x)
+		b := p.y - m*p.x
+		consider(m, b)
+	}
+	// Slope clamp through each hull vertex (binding m = maxSlope).
+	for _, p := range hull {
+		consider(maxSlopeKmPerMs, p.y-maxSlopeKmPerMs*p.x)
+	}
+	if math.IsInf(bestObj, 1) {
+		return Bestline{}, fmt.Errorf("no feasible bestline")
+	}
+	return best, nil
+}
+
+// upperHull returns the upper convex hull of pts, left to right
+// (Andrew's monotone chain).
+func upperHull(pts []point2) []point2 {
+	sorted := make([]point2, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].x != sorted[j].x {
+			return sorted[i].x < sorted[j].x
+		}
+		return sorted[i].y < sorted[j].y
+	})
+	var hull []point2
+	for _, p := range sorted {
+		for len(hull) >= 2 {
+			a, b := hull[len(hull)-2], hull[len(hull)-1]
+			// Keep the chain turning clockwise (concave down).
+			if (b.x-a.x)*(p.y-a.y)-(b.y-a.y)*(p.x-a.x) >= 0 {
+				hull = hull[:len(hull)-1]
+				continue
+			}
+			break
+		}
+		hull = append(hull, p)
+	}
+	return hull
+}
+
+// Region is a CBG location estimate.
+type Region struct {
+	// Centroid is the position estimate.
+	Centroid geo.Point
+	// RadiusKm is the confidence radius: the radius of a circle with
+	// the same area as the feasible intersection region.
+	RadiusKm float64
+	// Feasible is false when the discs had no common intersection even
+	// after relaxation (the estimate falls back to the tightest disc).
+	Feasible bool
+}
+
+// Locate estimates the position of a target from its per-landmark
+// measured RTTs. Entries with non-positive RTT are skipped (landmark
+// unreachable).
+func (c *CBG) Locate(rtts []time.Duration) Region {
+	type disc struct {
+		center geo.Point
+		radius float64
+	}
+	discs := make([]disc, 0, len(rtts))
+	for i, rtt := range rtts {
+		if i >= len(c.landmarks) || rtt <= 0 {
+			continue
+		}
+		ms := rtt.Seconds() * 1000
+		r := c.lines[i].SlopeKmPerMs*ms + c.lines[i].InterceptKm
+		// The physical bound always applies.
+		if phys := ms * maxSlopeKmPerMs; r > phys {
+			r = phys
+		}
+		if r < 1 {
+			r = 1
+		}
+		discs = append(discs, disc{center: c.landmarks[i].Loc, radius: r})
+	}
+	if len(discs) == 0 {
+		return Region{Feasible: false}
+	}
+	// Tightest discs first: they prune the grid fastest and define the
+	// search box.
+	sort.Slice(discs, func(i, j int) bool { return discs[i].radius < discs[j].radius })
+
+	inAll := func(p geo.Point, slack float64) bool {
+		for _, d := range discs {
+			if geo.Distance(p, d.center) > d.radius*slack {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Relaxation loop: CBG underestimation can make the intersection
+	// empty; inflate radii until points qualify.
+	for _, slack := range []float64{1.0, 1.1, 1.25, 1.5, 2.0} {
+		region, ok := gridRegion(discs[0].center, discs[0].radius*slack, func(p geo.Point) bool {
+			return inAll(p, slack)
+		})
+		if ok {
+			region.Feasible = slack == 1.0
+			return region
+		}
+	}
+	return Region{Centroid: discs[0].center, RadiusKm: discs[0].radius, Feasible: false}
+}
+
+// gridRegion grid-samples the search box around the tightest disc,
+// returning the centroid and equivalent radius of the feasible cells.
+// Two passes: a coarse pass over the disc's bounding box, then a
+// refined pass over the feasible sub-box.
+func gridRegion(center geo.Point, radius float64, feasible func(geo.Point) bool) (Region, bool) {
+	const n = 26
+	box := boxAround(center, radius)
+	for pass := 0; pass < 2; pass++ {
+		var latSum, lonSum float64
+		var minLat, maxLat, minLon, maxLon float64
+		count := 0
+		dLat := (box.maxLat - box.minLat) / n
+		dLon := (box.maxLon - box.minLon) / n
+		if dLat <= 0 || dLon <= 0 {
+			return Region{}, false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				p := geo.Point{
+					Lat: box.minLat + (float64(i)+0.5)*dLat,
+					Lon: box.minLon + (float64(j)+0.5)*dLon,
+				}
+				if !feasible(p) {
+					continue
+				}
+				if count == 0 {
+					minLat, maxLat, minLon, maxLon = p.Lat, p.Lat, p.Lon, p.Lon
+				} else {
+					minLat = math.Min(minLat, p.Lat)
+					maxLat = math.Max(maxLat, p.Lat)
+					minLon = math.Min(minLon, p.Lon)
+					maxLon = math.Max(maxLon, p.Lon)
+				}
+				latSum += p.Lat
+				lonSum += p.Lon
+				count++
+			}
+		}
+		if count == 0 {
+			return Region{}, false
+		}
+		centroid := geo.Point{Lat: latSum / float64(count), Lon: lonSum / float64(count)}
+		// Cell area in km²: lat cell × lon cell at the centroid.
+		cellKm2 := (dLat * 111.19) * (dLon * 111.19 * math.Cos(centroid.Lat*math.Pi/180))
+		area := float64(count) * math.Abs(cellKm2)
+		region := Region{Centroid: centroid, RadiusKm: math.Sqrt(area / math.Pi), Feasible: true}
+		if pass == 1 || count > n*n/4 {
+			return region, true
+		}
+		// Refine around the feasible cells.
+		box = latLonBox{
+			minLat: minLat - dLat, maxLat: maxLat + dLat,
+			minLon: minLon - dLon, maxLon: maxLon + dLon,
+		}
+	}
+	return Region{}, false
+}
+
+type latLonBox struct {
+	minLat, maxLat, minLon, maxLon float64
+}
+
+// boxAround returns the lat/lon bounding box of a disc.
+func boxAround(center geo.Point, radiusKm float64) latLonBox {
+	dLat := radiusKm / 111.19
+	cos := math.Cos(center.Lat * math.Pi / 180)
+	if cos < 0.05 {
+		cos = 0.05
+	}
+	dLon := radiusKm / (111.19 * cos)
+	return latLonBox{
+		minLat: center.Lat - dLat, maxLat: center.Lat + dLat,
+		minLon: center.Lon - dLon, maxLon: center.Lon + dLon,
+	}
+}

@@ -1,0 +1,61 @@
+package geoloc
+
+import (
+	"github.com/ytcdn-sim/ytcdn/internal/geo"
+	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
+)
+
+// StaticDB is the stand-in for commercial IP-to-location databases
+// (the paper cites Maxmind GeoLite). Such databases attribute a
+// corporate network's whole address space to its headquarters; for the
+// Google CDN that means every content server "is" in Mountain View,
+// California — the §V negative result that motivates CBG.
+type StaticDB struct {
+	entries []staticEntry
+	def     geo.Point
+	hasDef  bool
+}
+
+type staticEntry struct {
+	prefix ipnet.Prefix
+	loc    geo.Point
+}
+
+// NewStaticDB returns an empty database.
+func NewStaticDB() *StaticDB { return &StaticDB{} }
+
+// NewMountainViewDB returns the database the paper effectively got
+// from Maxmind: every queried address resolves to Mountain View.
+func NewMountainViewDB() *StaticDB {
+	db := NewStaticDB()
+	db.SetDefault(geo.MountainView.Point)
+	return db
+}
+
+// Register maps a prefix to a fixed location.
+func (db *StaticDB) Register(p ipnet.Prefix, loc geo.Point) {
+	db.entries = append(db.entries, staticEntry{prefix: p, loc: loc})
+}
+
+// SetDefault sets the location returned for unmatched addresses.
+func (db *StaticDB) SetDefault(loc geo.Point) {
+	db.def = loc
+	db.hasDef = true
+}
+
+// Locate returns the database's location for addr.
+func (db *StaticDB) Locate(addr ipnet.Addr) (geo.Point, bool) {
+	best := -1
+	for i, e := range db.entries {
+		if e.prefix.Contains(addr) && (best < 0 || e.prefix.Bits > db.entries[best].prefix.Bits) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return db.entries[best].loc, true
+	}
+	if db.hasDef {
+		return db.def, true
+	}
+	return geo.Point{}, false
+}

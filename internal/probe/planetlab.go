@@ -1,0 +1,197 @@
+package probe
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/content"
+	"github.com/ytcdn-sim/ytcdn/internal/core"
+	"github.com/ytcdn-sim/ytcdn/internal/geo"
+	"github.com/ytcdn-sim/ytcdn/internal/netmodel"
+	"github.com/ytcdn-sim/ytcdn/internal/stats"
+	"github.com/ytcdn-sim/ytcdn/internal/topology"
+)
+
+// PLNode is one PlanetLab-style download node.
+type PLNode struct {
+	Name string
+	Loc  geo.Point
+	// Preferred is the node's RTT-best Google data center.
+	Preferred topology.DataCenterID
+}
+
+// PLSample is one timed download measurement.
+type PLSample struct {
+	Node   int
+	Round  int
+	At     time.Duration
+	Server topology.ServerID
+	// FromDC is the data center that served the request.
+	FromDC topology.DataCenterID
+	// RTTMs is the measured RTT to the serving server.
+	RTTMs float64
+}
+
+// PLResult collects an unpopular-video experiment.
+type PLResult struct {
+	Nodes   []PLNode
+	Samples []PLSample
+	// OriginDC is where the fresh test video was placed at upload.
+	OriginDC topology.DataCenterID
+}
+
+// NodeSeries returns one node's samples in round order (Fig 17).
+func (r *PLResult) NodeSeries(node int) []PLSample {
+	var out []PLSample
+	for _, s := range r.Samples {
+		if s.Node == node {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RTTRatios returns RTT(first sample)/RTT(second sample) per node
+// (Fig 18).
+func (r *PLResult) RTTRatios() []float64 {
+	out := make([]float64, 0, len(r.Nodes))
+	for n := range r.Nodes {
+		series := r.NodeSeries(n)
+		if len(series) < 2 || series[1].RTTMs <= 0 {
+			continue
+		}
+		out = append(out, series[0].RTTMs/series[1].RTTMs)
+	}
+	return out
+}
+
+// PlanetLabConfig parameterizes the §VII-C active experiment.
+type PlanetLabConfig struct {
+	// Nodes is the number of download nodes (the paper used 45).
+	Nodes int
+	// Rounds is the number of downloads per node (every 30 minutes for
+	// 12 hours = 25 samples including the first).
+	Rounds int
+	// Interval is the time between rounds.
+	Interval time.Duration
+	// OriginCity places the freshly uploaded test video (the paper's
+	// test video landed in the Netherlands).
+	OriginCity string
+	// Video optionally selects the uploaded test video; zero means the
+	// catalog's last (deepest-tail) video. Repeated experiments must
+	// use distinct videos: pull-through is permanent, so re-running
+	// with the same video finds it already cached everywhere.
+	Video content.VideoID
+	// PingSamples is the number of pings per RTT measurement.
+	PingSamples int
+}
+
+// DefaultPlanetLabConfig matches the paper's setup.
+func DefaultPlanetLabConfig() PlanetLabConfig {
+	return PlanetLabConfig{
+		Nodes:       45,
+		Rounds:      25,
+		Interval:    30 * time.Minute,
+		OriginCity:  geo.Amsterdam.Name,
+		PingSamples: 5,
+	}
+}
+
+// RunPlanetLab uploads a fresh tail video to one origin data center
+// and downloads it repeatedly from a worldwide node set, recording the
+// serving data center and RTT of every download. It reproduces the
+// paper's finding: the first access is often served from the (distant)
+// origin, subsequent accesses from the node's preferred data center,
+// because the preferred DC pulls the video through on the miss.
+func RunPlanetLab(w *topology.World, cat *content.Catalog, pl *core.Placement, cfg PlanetLabConfig, g *stats.RNG) (*PLResult, error) {
+	if cfg.Nodes < 1 || cfg.Rounds < 2 {
+		return nil, fmt.Errorf("probe: need >= 1 node and >= 2 rounds, got %d/%d", cfg.Nodes, cfg.Rounds)
+	}
+	if len(w.Landmarks) < cfg.Nodes {
+		return nil, fmt.Errorf("probe: world has %d landmark sites, need %d", len(w.Landmarks), cfg.Nodes)
+	}
+
+	// The fresh upload, pinned to the origin city.
+	video := cfg.Video
+	if video == 0 {
+		video = content.VideoID(cat.N() - 1)
+	}
+	if !cat.IsTail(video) {
+		return nil, fmt.Errorf("probe: video %d is not a tail video", video)
+	}
+	var origin *topology.DataCenter
+	for _, id := range w.GoogleDCs() {
+		if w.DC(id).City.Name == cfg.OriginCity {
+			origin = w.DC(id)
+			break
+		}
+	}
+	if origin == nil {
+		return nil, fmt.Errorf("probe: no Google data center in %q", cfg.OriginCity)
+	}
+	pl.ForceOrigins(video, []topology.DataCenterID{origin.ID})
+
+	res := &PLResult{OriginDC: origin.ID}
+
+	// Spread nodes over the landmark sites (which follow the paper's
+	// continental mix). A random subset avoids resonances between the
+	// landmark layout and the node count, maximizing the diversity of
+	// preferred data centers ("nodes were carefully selected so that
+	// most of them had different preferred data centers", §VII-C).
+	google := w.GoogleDCs()
+	perm := g.Perm(len(w.Landmarks))
+	endpoints := make([]netmodel.Endpoint, 0, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		lm := w.Landmarks[perm[n]]
+		ep := netmodel.Endpoint{ID: "pl-" + lm.Name, Loc: lm.Loc, Access: netmodel.AccessBackbone}
+		best := google[0]
+		bestRTT := w.Net.BaseRTT(ep, w.DC(best).Endpoint())
+		for _, id := range google[1:] {
+			if rtt := w.Net.BaseRTT(ep, w.DC(id).Endpoint()); rtt < bestRTT {
+				best, bestRTT = id, rtt
+			}
+		}
+		res.Nodes = append(res.Nodes, PLNode{Name: lm.Name, Loc: lm.Loc, Preferred: best})
+		endpoints = append(endpoints, ep)
+	}
+
+	// Rounds: all nodes download once per interval. Within a round
+	// nodes proceed in order, so a node can benefit from a pull
+	// triggered earlier in the same round (as overlapping PlanetLab
+	// schedules did).
+	for round := 0; round < cfg.Rounds; round++ {
+		at := time.Duration(round) * cfg.Interval
+		for n := range res.Nodes {
+			node := &res.Nodes[n]
+			serveDC := node.Preferred
+			if !pl.Has(serveDC, video, geo.ContinentOf(node.Loc), 0, nil) {
+				// Miss: served by the origin, pulled through locally.
+				pl.Pull(serveDC, video)
+				serveDC = origin.ID
+			}
+			fleet := w.DC(serveDC).Servers
+			srv := fleet[int(hashNodeVideo(n, int(video)))%len(fleet)]
+			rtt := w.Net.MinRTT(endpoints[n], netmodel.Endpoint{
+				ID:     "srv-" + srv.Addr.String(),
+				Loc:    w.DC(serveDC).City.Point,
+				Access: netmodel.AccessDataCenter,
+			}, cfg.PingSamples, g)
+			res.Samples = append(res.Samples, PLSample{
+				Node:   n,
+				Round:  round,
+				At:     at,
+				Server: srv.ID,
+				FromDC: serveDC,
+				RTTMs:  rtt.Seconds() * 1000,
+			})
+		}
+	}
+	return res, nil
+}
+
+// hashNodeVideo gives the within-DC server choice for a download.
+func hashNodeVideo(node, video int) uint32 {
+	x := uint32(node)*2654435761 + uint32(video)*40503
+	x ^= x >> 13
+	return x * 2246822519
+}

@@ -1,0 +1,127 @@
+// Package probe provides the active-measurement side of the paper's
+// methodology: ping campaigns from vantage points and landmarks toward
+// content servers (Figs 2, 3, 7, 8; Table III inputs) and the
+// PlanetLab first-access experiment on unpopular videos (Figs 17, 18).
+//
+// A Prober interacts with the simulated network the way ping interacts
+// with the real one: it learns round-trip times and nothing else.
+package probe
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/geoloc"
+	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
+	"github.com/ytcdn-sim/ytcdn/internal/netmodel"
+	"github.com/ytcdn-sim/ytcdn/internal/stats"
+	"github.com/ytcdn-sim/ytcdn/internal/topology"
+)
+
+// Prober issues RTT measurements against a world.
+type Prober struct {
+	w *topology.World
+	g *stats.RNG
+}
+
+// New returns a prober drawing measurement noise from g.
+func New(w *topology.World, g *stats.RNG) *Prober {
+	return &Prober{w: w, g: g}
+}
+
+// serverEndpoint builds the per-server network endpoint. Servers in
+// one data center share a location but keep distinct identities, so
+// measured paths to them differ slightly — like real co-located
+// machines behind different ports and peerings.
+func (p *Prober) serverEndpoint(addr ipnet.Addr) (netmodel.Endpoint, error) {
+	srv, ok := p.w.ServerByAddr(addr)
+	if !ok {
+		return netmodel.Endpoint{}, fmt.Errorf("probe: %s does not answer pings", addr)
+	}
+	dc := p.w.DC(srv.DC)
+	return netmodel.Endpoint{
+		ID:     "srv-" + addr.String(),
+		Loc:    dc.City.Point,
+		Access: netmodel.AccessDataCenter,
+	}, nil
+}
+
+// MinRTT probes target n times from the given endpoint and returns the
+// minimum, the standard latency estimate.
+func (p *Prober) MinRTT(from netmodel.Endpoint, target ipnet.Addr, n int) (time.Duration, error) {
+	ep, err := p.serverEndpoint(target)
+	if err != nil {
+		return 0, err
+	}
+	return p.w.Net.MinRTT(from, ep, n, p.g), nil
+}
+
+// MinRTTFromVP probes target from a vantage point's monitored network.
+func (p *Prober) MinRTTFromVP(vpName string, target ipnet.Addr, n int) (time.Duration, error) {
+	idx := p.w.VPIndex(vpName)
+	if idx < 0 {
+		return 0, fmt.Errorf("probe: unknown vantage point %q", vpName)
+	}
+	return p.MinRTT(p.w.VantagePoints[idx].Endpoint(), target, n)
+}
+
+// CampaignFromVP measures every target from a vantage point and
+// returns per-address minimum RTTs in milliseconds (the Fig 2 / Fig 7
+// campaigns).
+func (p *Prober) CampaignFromVP(vpName string, targets []ipnet.Addr, n int) (map[ipnet.Addr]float64, error) {
+	out := make(map[ipnet.Addr]float64, len(targets))
+	for _, t := range targets {
+		rtt, err := p.MinRTT(p.w.VantagePoints[p.w.VPIndex(vpName)].Endpoint(), t, n)
+		if err != nil {
+			// Unroutable targets simply drop out of the campaign, as
+			// unreachable hosts do in real ping sweeps.
+			continue
+		}
+		out[t] = rtt.Seconds() * 1000
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("probe: no target of %d answered from %s", len(targets), vpName)
+	}
+	return out, nil
+}
+
+// LandmarkInfos converts the world's landmarks into CBG inputs.
+func (p *Prober) LandmarkInfos() []geoloc.LandmarkInfo {
+	out := make([]geoloc.LandmarkInfo, len(p.w.Landmarks))
+	for i, lm := range p.w.Landmarks {
+		out[i] = geoloc.LandmarkInfo{Name: lm.Name, Loc: lm.Loc}
+	}
+	return out
+}
+
+// CrossRTTMatrix measures landmark-to-landmark minimum RTTs for CBG
+// calibration.
+func (p *Prober) CrossRTTMatrix(samples int) [][]time.Duration {
+	n := len(p.w.Landmarks)
+	m := make([][]time.Duration, n)
+	for i := range m {
+		m[i] = make([]time.Duration, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			rtt := p.w.Net.MinRTT(p.w.Landmarks[i].Endpoint(), p.w.Landmarks[j].Endpoint(), samples, p.g)
+			m[i][j] = rtt
+			m[j][i] = rtt
+		}
+	}
+	return m
+}
+
+// LandmarkRTTs measures a target from every landmark (one CBG
+// localization input).
+func (p *Prober) LandmarkRTTs(target ipnet.Addr, samples int) ([]time.Duration, error) {
+	ep, err := p.serverEndpoint(target)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]time.Duration, len(p.w.Landmarks))
+	for i, lm := range p.w.Landmarks {
+		out[i] = p.w.Net.MinRTT(lm.Endpoint(), ep, samples, p.g)
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+// The zero value is an empty distribution ready for Add.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewCDF builds a CDF from the given samples. The input slice is
+// copied, so callers may reuse it.
+func NewCDF(samples []float64) *CDF {
+	c := &CDF{samples: make([]float64, len(samples))}
+	copy(c.samples, samples)
+	return c
+}
+
+// Add appends one sample.
+func (c *CDF) Add(v float64) {
+	c.samples = append(c.samples, v)
+	c.sorted = false
+}
+
+// Len returns the number of samples.
+func (c *CDF) Len() int { return len(c.samples) }
+
+func (c *CDF) ensureSorted() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// At returns the empirical CDF evaluated at x: the fraction of samples
+// <= x. An empty CDF returns 0.
+func (c *CDF) At(x float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	// Number of samples <= x.
+	n := sort.Search(len(c.samples), func(i int) bool { return c.samples[i] > x })
+	return float64(n) / float64(len(c.samples))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using the nearest-rank
+// method. It panics on an empty CDF or q outside [0, 1]; quantiles of
+// nothing are a programming error, not a data condition.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.samples) == 0 {
+		panic("stats: Quantile of empty CDF")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile(%g) out of [0,1]", q))
+	}
+	c.ensureSorted()
+	if q == 0 {
+		return c.samples[0]
+	}
+	idx := int(math.Ceil(q*float64(len(c.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.samples) {
+		idx = len(c.samples) - 1
+	}
+	return c.samples[idx]
+}
+
+// Median is shorthand for Quantile(0.5).
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Min returns the smallest sample. Panics if empty.
+func (c *CDF) Min() float64 {
+	if len(c.samples) == 0 {
+		panic("stats: Min of empty CDF")
+	}
+	c.ensureSorted()
+	return c.samples[0]
+}
+
+// Max returns the largest sample. Panics if empty.
+func (c *CDF) Max() float64 {
+	if len(c.samples) == 0 {
+		panic("stats: Max of empty CDF")
+	}
+	c.ensureSorted()
+	return c.samples[len(c.samples)-1]
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty CDF.
+func (c *CDF) Mean() float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range c.samples {
+		sum += v
+	}
+	return sum / float64(len(c.samples))
+}
+
+// Points returns (x, F(x)) pairs suitable for plotting: the sorted
+// sample values with their cumulative fractions.
+func (c *CDF) Points() []CDFPoint {
+	c.ensureSorted()
+	pts := make([]CDFPoint, len(c.samples))
+	n := float64(len(c.samples))
+	for i, v := range c.samples {
+		pts[i] = CDFPoint{X: v, F: float64(i+1) / n}
+	}
+	return pts
+}
+
+// CDFPoint is one point of an empirical CDF curve.
+type CDFPoint struct {
+	X float64 // sample value
+	F float64 // cumulative fraction of samples <= X
+}
+
+// RenderASCII renders the CDF as a fixed-width table sampling the
+// curve at the given x values, matching how the paper's figures are
+// tabulated in EXPERIMENTS.md.
+func (c *CDF) RenderASCII(label string, xs []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", label)
+	for _, x := range xs {
+		fmt.Fprintf(&b, " F(%-8.4g)=%.3f", x, c.At(x))
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+// Package stats provides the statistical toolkit shared by the
+// simulator and the analysis pipeline: deterministic random streams,
+// empirical CDFs and quantiles, time-binned counters, and the heavy-tail
+// samplers (Zipf, log-normal) that drive the synthetic workload.
+package stats
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random stream. It wraps math/rand with a few
+// distributions the workload model needs. RNG is not safe for
+// concurrent use; derive independent streams with Fork instead of
+// sharing one.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent stream labelled by name. Streams forked
+// with the same (seed, name) pair are identical across runs, which
+// keeps every experiment bit-reproducible regardless of the order in
+// which subsystems draw random numbers.
+func (g *RNG) Fork(name string) *RNG {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return NewRNG(int64(h.Sum64()) ^ g.r.Int63())
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform draw in [0, n). It panics if n <= 0, matching
+// math/rand semantics.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// NormFloat64 returns a standard normal draw.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// ExpFloat64 returns an exponential draw with rate 1.
+func (g *RNG) ExpFloat64() float64 { return g.r.ExpFloat64() }
+
+// Uniform returns a uniform draw in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// LogNormal returns a draw from a log-normal distribution with the
+// given parameters of the underlying normal (mu, sigma).
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*g.r.NormFloat64())
+}
+
+// Poisson returns a Poisson draw with the given mean, using Knuth's
+// algorithm for small means and a normal approximation for large ones.
+func (g *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 500 {
+		// Normal approximation; adequate for arrival counts.
+		n := int(math.Round(mean + math.Sqrt(mean)*g.r.NormFloat64()))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= g.r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }

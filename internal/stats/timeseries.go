@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// TimeBins accumulates counts (or sums) into fixed-width time bins over
+// a window [0, span). It backs every "per hour" figure in the paper
+// (Figs 9, 11, 14, 15, 16). Times are offsets from the start of the
+// capture, matching the trace format.
+type TimeBins struct {
+	width time.Duration
+	bins  []float64
+}
+
+// NewTimeBins creates span/width bins of the given width. It panics if
+// width <= 0 or span < width, which are programming errors.
+func NewTimeBins(span, width time.Duration) *TimeBins {
+	if width <= 0 {
+		panic("stats: TimeBins width must be positive")
+	}
+	if span < width {
+		panic("stats: TimeBins span must cover at least one bin")
+	}
+	n := int(span / width)
+	if span%width != 0 {
+		n++
+	}
+	return &TimeBins{width: width, bins: make([]float64, n)}
+}
+
+// Add accumulates v into the bin containing t. Out-of-range times are
+// clamped to the first/last bin so boundary flows are never lost.
+func (tb *TimeBins) Add(t time.Duration, v float64) {
+	idx := int(t / tb.width)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(tb.bins) {
+		idx = len(tb.bins) - 1
+	}
+	tb.bins[idx] += v
+}
+
+// Incr adds 1 to the bin containing t.
+func (tb *TimeBins) Incr(t time.Duration) { tb.Add(t, 1) }
+
+// N returns the number of bins.
+func (tb *TimeBins) N() int { return len(tb.bins) }
+
+// Width returns the bin width.
+func (tb *TimeBins) Width() time.Duration { return tb.width }
+
+// Bin returns the accumulated value of bin i.
+func (tb *TimeBins) Bin(i int) float64 { return tb.bins[i] }
+
+// Values returns a copy of all bin values.
+func (tb *TimeBins) Values() []float64 {
+	out := make([]float64, len(tb.bins))
+	copy(out, tb.bins)
+	return out
+}
+
+// Total returns the sum over all bins.
+func (tb *TimeBins) Total() float64 {
+	sum := 0.0
+	for _, v := range tb.bins {
+		sum += v
+	}
+	return sum
+}
+
+// Ratio returns num/den bin-by-bin. Bins where den is zero yield 0 and
+// ok=false in the mask. Both inputs must have identical geometry.
+func Ratio(num, den *TimeBins) (vals []float64, ok []bool) {
+	if num.width != den.width || len(num.bins) != len(den.bins) {
+		panic("stats: Ratio requires identical bin geometry")
+	}
+	vals = make([]float64, len(num.bins))
+	ok = make([]bool, len(num.bins))
+	for i := range num.bins {
+		if den.bins[i] > 0 {
+			vals[i] = num.bins[i] / den.bins[i]
+			ok[i] = true
+		}
+	}
+	return vals, ok
+}
+
+// MaxBin returns the index and value of the largest bin (first on tie).
+func (tb *TimeBins) MaxBin() (int, float64) {
+	best, bestV := 0, tb.bins[0]
+	for i, v := range tb.bins {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, bestV
+}
+
+// String summarizes the series.
+func (tb *TimeBins) String() string {
+	_, maxV := tb.MaxBin()
+	return fmt.Sprintf("TimeBins{n=%d width=%s total=%.0f max=%.0f}",
+		len(tb.bins), tb.width, tb.Total(), maxV)
+}

@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s. It precomputes the CDF so draws are O(log n) binary
+// searches, which keeps multi-million-request workloads cheap, and it
+// is deterministic given the RNG stream.
+//
+// YouTube video popularity is well modelled by a Zipf-like law with
+// exponent near 1 (Cha et al., IMC 2007), which is what the workload
+// generator uses.
+type Zipf struct {
+	cdf []float64
+	s   float64
+}
+
+// NewZipf builds a sampler over n ranks with exponent s. It returns an
+// error if n < 1 or s < 0.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("stats: zipf needs n >= 1, got %d", n)
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("stats: zipf needs s >= 0, got %g", s)
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, s: s}, nil
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Exponent returns the skew parameter s.
+func (z *Zipf) Exponent() float64 { return z.s }
+
+// Sample draws a rank in [0, N) using g.
+func (z *Zipf) Sample(g *RNG) int {
+	u := g.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// ProbOfRank returns the probability mass of the given rank.
+func (z *Zipf) ProbOfRank(rank int) float64 {
+	if rank < 0 || rank >= len(z.cdf) {
+		return 0
+	}
+	if rank == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[rank] - z.cdf[rank-1]
+}

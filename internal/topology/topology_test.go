@@ -1,0 +1,318 @@
+package topology
+
+import (
+	"testing"
+
+	"github.com/ytcdn-sim/ytcdn/internal/asdb"
+	"github.com/ytcdn-sim/ytcdn/internal/geo"
+)
+
+func buildTestWorld(t *testing.T) *World {
+	t.Helper()
+	w, err := BuildPaperWorld(PaperConfig{Scale: 0.01})
+	if err != nil {
+		t.Fatalf("BuildPaperWorld: %v", err)
+	}
+	return w
+}
+
+func TestBuildPaperWorldValidates(t *testing.T) {
+	w := buildTestWorld(t)
+	if err := w.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestGoogleDCCount(t *testing.T) {
+	w := buildTestWorld(t)
+	dcs := w.GoogleDCs()
+	if len(dcs) != 33 {
+		t.Fatalf("Google DCs = %d, want 33", len(dcs))
+	}
+	var us, eu, other, internal int
+	for _, id := range dcs {
+		dc := w.DC(id)
+		switch {
+		case dc.City.Continent == geo.NorthAmerica:
+			us++
+		case dc.City.Continent == geo.Europe:
+			eu++
+		default:
+			other++
+		}
+		if dc.Internal {
+			internal++
+		}
+	}
+	if us != 13 || eu != 14 || other != 6 {
+		t.Errorf("DC split US/EU/other = %d/%d/%d, want 13/14/6", us, eu, other)
+	}
+	if internal != 1 {
+		t.Errorf("internal DCs = %d, want 1 (EU2)", internal)
+	}
+}
+
+func TestInternalDCProperties(t *testing.T) {
+	w := buildTestWorld(t)
+	var internal *DataCenter
+	for _, dc := range w.DataCenters {
+		if dc.Internal {
+			internal = dc
+			break
+		}
+	}
+	if internal == nil {
+		t.Fatal("no internal DC")
+	}
+	if internal.City.Name != geo.Budapest.Name {
+		t.Errorf("internal DC city = %s, want Budapest", internal.City.Name)
+	}
+	if internal.AS.Number == asdb.ASGoogle {
+		t.Error("internal DC must not be in the Google AS")
+	}
+	if internal.DNSCapacity <= 0 {
+		t.Error("internal DC must have bounded DNS capacity")
+	}
+	// It must share its AS with the EU2 vantage point (Table II
+	// "Same AS" column).
+	eu2 := w.VantagePoints[w.VPIndex(DatasetEU2)]
+	if eu2.AS.Number != internal.AS.Number {
+		t.Errorf("EU2 AS %d != internal DC AS %d", eu2.AS.Number, internal.AS.Number)
+	}
+}
+
+func TestServerFleetSizes(t *testing.T) {
+	w := buildTestWorld(t)
+	cfg := DefaultPaperConfig()
+	google := w.ServersOfClass(ClassGoogle)
+	want := 13*cfg.ServersPerDCNA + 14*cfg.ServersPerDCEU + 6*cfg.ServersPerDCOther
+	if len(google) != want {
+		t.Errorf("google servers = %d, want %d", len(google), want)
+	}
+	if got := len(w.ServersOfClass(ClassLegacyEU)); got != cfg.LegacyServers {
+		t.Errorf("legacy servers = %d, want %d", got, cfg.LegacyServers)
+	}
+	if got := len(w.ServersOfClass(ClassThirdParty)); got != cfg.ThirdPartyServers {
+		t.Errorf("third-party servers = %d, want %d", got, cfg.ThirdPartyServers)
+	}
+}
+
+func TestServersShareSlash24WithinDC(t *testing.T) {
+	w := buildTestWorld(t)
+	// Every /24 must belong to exactly one data center (the paper's
+	// aggregation rule relies on this).
+	owner := make(map[uint32]DataCenterID)
+	for _, s := range w.Servers {
+		p := uint32(s.Addr.Slash24())
+		if dc, ok := owner[p]; ok && dc != s.DC {
+			t.Fatalf("/24 %s spans DCs %d and %d", s.Addr.Slash24(), dc, s.DC)
+		}
+		owner[p] = s.DC
+	}
+}
+
+func TestWhoisOfServers(t *testing.T) {
+	w := buildTestWorld(t)
+	for _, s := range w.Servers {
+		as, ok := w.Registry.Lookup(s.Addr)
+		if !ok {
+			t.Fatalf("server %s unrouted", s.Addr)
+		}
+		dc := w.DC(s.DC)
+		if as.Number != dc.AS.Number {
+			t.Fatalf("server %s whois AS%d != DC AS%d", s.Addr, as.Number, dc.AS.Number)
+		}
+	}
+}
+
+func TestVantagePoints(t *testing.T) {
+	w := buildTestWorld(t)
+	if len(w.VantagePoints) != 5 {
+		t.Fatalf("VPs = %d, want 5", len(w.VantagePoints))
+	}
+	for i, name := range DatasetNames() {
+		if w.VantagePoints[i].Name != name {
+			t.Errorf("VP %d = %s, want %s", i, w.VantagePoints[i].Name, name)
+		}
+		if w.VPIndex(name) != i {
+			t.Errorf("VPIndex(%s) = %d, want %d", name, w.VPIndex(name), i)
+		}
+	}
+	if w.VPIndex("nope") != -1 {
+		t.Error("VPIndex of unknown name must be -1")
+	}
+}
+
+func TestUSCampusNet3Override(t *testing.T) {
+	w := buildTestWorld(t)
+	us := w.VantagePoints[w.VPIndex(DatasetUSCampus)]
+	var net3 *Subnet
+	for _, sn := range us.Subnets {
+		if sn.Name == "Net-3" {
+			net3 = sn
+		}
+	}
+	if net3 == nil {
+		t.Fatal("US-Campus has no Net-3")
+	}
+	dcID, ok := w.PreferredOverrides[net3.LDNS]
+	if !ok {
+		t.Fatal("Net-3 LDNS has no preferred override")
+	}
+	if w.DC(dcID).City.Name != geo.Dallas.Name {
+		t.Errorf("Net-3 override -> %s, want Dallas", w.DC(dcID).City.Name)
+	}
+	// The override DC must not be among the five closest (it would
+	// break Fig 8's "closest five serve <2%" claim).
+	us2 := w.VantagePoints[w.VPIndex(DatasetUSCampus)]
+	closer := 0
+	for _, id := range w.GoogleDCs() {
+		if geo.Distance(us2.City.Point, w.DC(id).City.Point) < geo.Distance(us2.City.Point, w.DC(dcID).City.Point) {
+			closer++
+		}
+	}
+	if closer < 5 {
+		t.Errorf("Net-3 override DC is #%d closest; want outside top 5", closer+1)
+	}
+	// No other US subnet may share Net-3's LDNS.
+	for _, sn := range us.Subnets {
+		if sn.Name != "Net-3" && sn.LDNS == net3.LDNS {
+			t.Errorf("subnet %s shares Net-3's LDNS", sn.Name)
+		}
+	}
+}
+
+func TestLandmarkMix(t *testing.T) {
+	w := buildTestWorld(t)
+	if len(w.Landmarks) != 215 {
+		t.Fatalf("landmarks = %d, want 215", len(w.Landmarks))
+	}
+	for _, lm := range w.Landmarks {
+		if !lm.Loc.Valid() {
+			t.Errorf("landmark %s has invalid location %v", lm.Name, lm.Loc)
+		}
+	}
+}
+
+func TestServerByAddr(t *testing.T) {
+	w := buildTestWorld(t)
+	s := w.Servers[17]
+	got, ok := w.ServerByAddr(s.Addr)
+	if !ok || got.ID != s.ID {
+		t.Errorf("ServerByAddr(%s) = %v, %v", s.Addr, got, ok)
+	}
+	if _, ok := w.ServerByAddr(0); ok {
+		t.Error("ServerByAddr(0) must miss")
+	}
+}
+
+func TestUSCampusPreferredIsNotClosest(t *testing.T) {
+	// The structural precondition for Fig 8: the RTT-best DC for
+	// US-Campus must not be among its five geographically closest.
+	w := buildTestWorld(t)
+	us := w.VantagePoints[w.VPIndex(DatasetUSCampus)]
+	ep := us.Endpoint()
+
+	type dcDist struct {
+		id   DataCenterID
+		dist float64
+	}
+	var byDist []dcDist
+	bestRTT := -1.0
+	var bestDC DataCenterID
+	for _, id := range w.GoogleDCs() {
+		dc := w.DC(id)
+		byDist = append(byDist, dcDist{id, geo.Distance(us.City.Point, dc.City.Point)})
+		rtt := w.Net.BaseRTT(ep, dc.Endpoint()).Seconds()
+		if bestRTT < 0 || rtt < bestRTT {
+			bestRTT, bestDC = rtt, id
+		}
+	}
+	if w.DC(bestDC).City.Name != geo.NewYork.Name {
+		t.Fatalf("US-Campus RTT-best DC = %s, want New York", w.DC(bestDC).City.Name)
+	}
+	// Rank DCs by distance and check New York is not in the top 5.
+	for rank := 0; rank < 5; rank++ {
+		min := rank
+		for j := rank + 1; j < len(byDist); j++ {
+			if byDist[j].dist < byDist[min].dist {
+				min = j
+			}
+		}
+		byDist[rank], byDist[min] = byDist[min], byDist[rank]
+		if byDist[rank].id == bestDC {
+			t.Errorf("RTT-best DC is #%d closest; must be outside top 5", rank+1)
+		}
+	}
+}
+
+func TestEU2PreferredIsInternal(t *testing.T) {
+	w := buildTestWorld(t)
+	eu2 := w.VantagePoints[w.VPIndex(DatasetEU2)]
+	ep := eu2.Endpoint()
+	bestRTT := -1.0
+	var best *DataCenter
+	for _, id := range w.GoogleDCs() {
+		dc := w.DC(id)
+		rtt := w.Net.BaseRTT(ep, dc.Endpoint()).Seconds()
+		if bestRTT < 0 || rtt < bestRTT {
+			bestRTT, best = rtt, dc
+		}
+	}
+	if best == nil || !best.Internal {
+		t.Errorf("EU2 RTT-best DC = %v, want the internal Budapest DC", best)
+	}
+}
+
+func TestEU1PreferredIsMilan(t *testing.T) {
+	w := buildTestWorld(t)
+	for _, name := range []string{DatasetEU1Campus, DatasetEU1ADSL, DatasetEU1FTTH} {
+		vp := w.VantagePoints[w.VPIndex(name)]
+		ep := vp.Endpoint()
+		bestRTT := -1.0
+		var best *DataCenter
+		for _, id := range w.GoogleDCs() {
+			dc := w.DC(id)
+			rtt := w.Net.BaseRTT(ep, dc.Endpoint()).Seconds()
+			if bestRTT < 0 || rtt < bestRTT {
+				bestRTT, best = rtt, dc
+			}
+		}
+		if best.City.Name != geo.Milan.Name {
+			t.Errorf("%s RTT-best DC = %s, want Milan", name, best.City.Name)
+		}
+	}
+}
+
+func TestValidateCatchesBadWeights(t *testing.T) {
+	w := buildTestWorld(t)
+	w.VantagePoints[0].Subnets[0].Weight += 0.5
+	if err := w.Validate(); err == nil {
+		t.Error("Validate must reject subnet weights not summing to 1")
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	w1 := buildTestWorld(t)
+	w2 := buildTestWorld(t)
+	if len(w1.Servers) != len(w2.Servers) {
+		t.Fatal("server counts differ across builds")
+	}
+	for i := range w1.Servers {
+		if w1.Servers[i].Addr != w2.Servers[i].Addr {
+			t.Fatal("server addressing not deterministic")
+		}
+	}
+	for i := range w1.Landmarks {
+		if w1.Landmarks[i].Loc != w2.Landmarks[i].Loc {
+			t.Fatal("landmark placement not deterministic")
+		}
+	}
+}
+
+func TestServerClassString(t *testing.T) {
+	if ClassGoogle.String() != "google" || ClassLegacyEU.String() != "legacy-eu" ||
+		ClassThirdParty.String() != "third-party" || ServerClass(0).String() != "invalid" {
+		t.Error("ServerClass.String broken")
+	}
+}

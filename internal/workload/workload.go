@@ -1,0 +1,155 @@
+// Package workload generates the request streams of the five monitored
+// networks: an inhomogeneous Poisson arrival process with a diurnal
+// profile per vantage point, subnet/client selection, and video and
+// resolution sampling from the shared catalog.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/cdn"
+	"github.com/ytcdn-sim/ytcdn/internal/content"
+	"github.com/ytcdn-sim/ytcdn/internal/des"
+	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
+	"github.com/ytcdn-sim/ytcdn/internal/stats"
+	"github.com/ytcdn-sim/ytcdn/internal/topology"
+)
+
+// DiurnalWeight returns the relative demand at simulated time t for a
+// profile with the given peak hour and night/peak floor: a raised
+// cosine over the 24-hour day. The mean over a day is
+// minFrac + (1-minFrac)/2.
+func DiurnalWeight(t time.Duration, peakHour, minFrac float64) float64 {
+	h := math.Mod(t.Hours(), 24)
+	bump := (1 + math.Cos(2*math.Pi*(h-peakHour)/24)) / 2
+	return minFrac + (1-minFrac)*bump
+}
+
+// Generator produces the session stream of one vantage point over a
+// capture window.
+type Generator struct {
+	vpIndex int
+	vp      *topology.VantagePoint
+	cat     *content.Catalog
+	span    time.Duration
+	g       *stats.RNG
+
+	// clientsPerSubnet is the client pool size of each subnet.
+	clientsPerSubnet []int
+	// subnetCDF is the cumulative weight of subnets for sampling.
+	subnetCDF []float64
+}
+
+// NewGenerator builds a generator for vantage point vpIndex of the
+// world, covering [0, span).
+func NewGenerator(w *topology.World, vpIndex int, cat *content.Catalog, span time.Duration, g *stats.RNG) (*Generator, error) {
+	if vpIndex < 0 || vpIndex >= len(w.VantagePoints) {
+		return nil, fmt.Errorf("workload: vantage point index %d out of range", vpIndex)
+	}
+	if span <= 0 {
+		return nil, fmt.Errorf("workload: span must be positive, got %v", span)
+	}
+	vp := w.VantagePoints[vpIndex]
+	gen := &Generator{
+		vpIndex: vpIndex,
+		vp:      vp,
+		cat:     cat,
+		span:    span,
+		g:       g,
+	}
+	acc := 0.0
+	for _, sn := range vp.Subnets {
+		acc += sn.Weight
+		gen.subnetCDF = append(gen.subnetCDF, acc)
+		n := int(float64(vp.NumClients) * sn.Weight)
+		if n < 1 {
+			n = 1
+		}
+		gen.clientsPerSubnet = append(gen.clientsPerSubnet, n)
+	}
+	return gen, nil
+}
+
+// TotalSessions returns the expected number of sessions over the
+// window, scaled from the weekly target.
+func (gen *Generator) TotalSessions() float64 {
+	return float64(gen.vp.WeeklySessions) * gen.span.Hours() / (7 * 24)
+}
+
+// ratePerHour returns the expected arrival rate at time t.
+func (gen *Generator) ratePerHour(t time.Duration) float64 {
+	w := DiurnalWeight(t, gen.vp.DiurnalPeakHour, gen.vp.DiurnalMinFrac)
+	meanW := gen.vp.DiurnalMinFrac + (1-gen.vp.DiurnalMinFrac)/2
+	return gen.TotalSessions() / gen.span.Hours() * w / meanW
+}
+
+// sampleSubnet draws a subnet index by weight.
+func (gen *Generator) sampleSubnet() int {
+	u := gen.g.Float64()
+	for i, c := range gen.subnetCDF {
+		if u < c {
+			return i
+		}
+	}
+	return len(gen.subnetCDF) - 1
+}
+
+// sampleClient draws a client address within the subnet.
+func (gen *Generator) sampleClient(subnetIdx int) ipnet.Addr {
+	sn := gen.vp.Subnets[subnetIdx]
+	idx := 1 + gen.g.Intn(gen.clientsPerSubnet[subnetIdx])
+	addr, err := sn.Prefix.Nth(idx % (sn.Prefix.Size() - 1))
+	if err != nil {
+		// Subnet prefixes are /18s and pools ≤ ~10k clients, so this
+		// cannot happen with a validated world.
+		panic(fmt.Sprintf("workload: client allocation: %v", err))
+	}
+	return addr
+}
+
+// request assembles one session request at time t.
+func (gen *Generator) request(t time.Duration) cdn.Request {
+	snIdx := gen.sampleSubnet()
+	return cdn.Request{
+		VP:     gen.vpIndex,
+		Subnet: gen.vp.Subnets[snIdx],
+		Client: gen.sampleClient(snIdx),
+		Video:  gen.cat.Sample(gen.g, t),
+		Res:    gen.cat.SampleResolution(gen.g),
+	}
+}
+
+// Schedule installs hourly batch events on the engine; each batch
+// draws its hour's Poisson arrival count and schedules the individual
+// sessions at uniform offsets. submit is invoked inside engine events.
+func (gen *Generator) Schedule(eng *des.Engine, submit func(cdn.Request)) {
+	hours := int(gen.span / time.Hour)
+	if gen.span%time.Hour != 0 {
+		hours++
+	}
+	for h := 0; h < hours; h++ {
+		h := h
+		at := time.Duration(h) * time.Hour
+		eng.Schedule(at, func() {
+			gen.emitHour(eng, at, submit)
+		})
+	}
+}
+
+// emitHour schedules one hour's arrivals.
+func (gen *Generator) emitHour(eng *des.Engine, start time.Duration, submit func(cdn.Request)) {
+	width := time.Hour
+	if start+width > gen.span {
+		width = gen.span - start
+	}
+	mean := gen.ratePerHour(start+width/2) * width.Hours()
+	n := gen.g.Poisson(mean)
+	for i := 0; i < n; i++ {
+		at := start + time.Duration(gen.g.Float64()*float64(width))
+		eng.Schedule(at, func() {
+			submit(gen.request(at))
+		})
+	}
+}

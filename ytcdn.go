@@ -1,0 +1,215 @@
+// Package ytcdn reproduces the system studied in "Dissecting Video
+// Server Selection Strategies in the YouTube CDN" (Torres et al.,
+// IEEE ICDCS 2011): a simulator of the 2010 YouTube content
+// distribution network — preferred-data-center DNS mapping, adaptive
+// DNS load balancing, hot-spot and content-miss application-layer
+// redirection — together with the paper's complete measurement and
+// analysis pipeline (Tstat-style flow capture, video-session grouping,
+// CBG delay-based geolocation, per-AS and per-data-center accounting).
+//
+// The typical entry point is Run, which simulates the paper's five
+// monitored networks for a configurable window and returns the
+// captured traces plus handles to the world for active measurements:
+//
+//	study, err := ytcdn.Run(ytcdn.Options{Scale: 0.05, Span: 2 * 24 * time.Hour})
+//	...
+//	trace := study.Trace(ytcdn.DatasetEU1ADSL)
+//
+// Analysis of the traces lives in internal/analysis and is surfaced
+// through the experiments harness (cmd/ytcdn-experiments), which
+// regenerates every table and figure of the paper.
+package ytcdn
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/capture"
+	"github.com/ytcdn-sim/ytcdn/internal/cdn"
+	"github.com/ytcdn-sim/ytcdn/internal/content"
+	"github.com/ytcdn-sim/ytcdn/internal/core"
+	"github.com/ytcdn-sim/ytcdn/internal/des"
+	"github.com/ytcdn-sim/ytcdn/internal/experiments"
+	"github.com/ytcdn-sim/ytcdn/internal/stats"
+	"github.com/ytcdn-sim/ytcdn/internal/topology"
+	"github.com/ytcdn-sim/ytcdn/internal/workload"
+)
+
+// Dataset names re-exported for callers of the public API.
+const (
+	DatasetUSCampus  = topology.DatasetUSCampus
+	DatasetEU1Campus = topology.DatasetEU1Campus
+	DatasetEU1ADSL   = topology.DatasetEU1ADSL
+	DatasetEU1FTTH   = topology.DatasetEU1FTTH
+	DatasetEU2       = topology.DatasetEU2
+)
+
+// DatasetNames returns the five dataset names in the paper's order.
+func DatasetNames() []string { return topology.DatasetNames() }
+
+// Options configures a study run. The zero value runs the full paper
+// setting (five networks, one week, full-scale populations); set Scale
+// below 1 to shrink the workload proportionally.
+type Options struct {
+	// Seed makes the whole study reproducible.
+	Seed int64
+	// Scale multiplies session volumes (1.0 = paper scale, ~2.4M
+	// flows; 0.05 runs in well under a second).
+	Scale float64
+	// Span is the capture window (default: one week, like the paper).
+	Span time.Duration
+	// Topology, Catalog, Selector and Player override subsystem
+	// configurations; zero values mean calibrated defaults.
+	Topology *topology.PaperConfig
+	Catalog  *content.Config
+	Selector *core.Config
+	Player   *cdn.Config
+	// ExtraSink, when non-nil, additionally receives every flow record
+	// as it is emitted (e.g. a capture.WriterSink streaming to disk).
+	ExtraSink capture.Sink
+}
+
+// Study is the result of a run: the world (for active probing) and the
+// captured traces (for passive analysis).
+type Study struct {
+	World     *topology.World
+	Catalog   *content.Catalog
+	Placement *core.Placement
+	Selector  *core.Selector
+	Span      time.Duration
+	Seed      int64
+
+	sink *capture.MemSink
+}
+
+// Run builds the paper world, generates the five networks' workloads,
+// executes them against the selection engine, and captures the traces.
+func Run(opts Options) (*Study, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 20100904
+	}
+	if opts.Scale == 0 {
+		opts.Scale = 1.0
+	}
+	if opts.Span == 0 {
+		opts.Span = 7 * 24 * time.Hour
+	}
+
+	topoCfg := topology.PaperConfig{}
+	if opts.Topology != nil {
+		topoCfg = *opts.Topology
+	}
+	topoCfg.Scale = opts.Scale
+	if topoCfg.Seed == 0 {
+		topoCfg.Seed = opts.Seed
+	}
+	w, err := topology.BuildPaperWorld(topoCfg)
+	if err != nil {
+		return nil, fmt.Errorf("ytcdn: %w", err)
+	}
+	return RunWorld(w, opts)
+}
+
+// RunWorld runs a study against a caller-built (and possibly modified)
+// world — for example with altered preferred-DC overrides to model the
+// assignment-policy change the paper observed in its February 2011
+// follow-up dataset. Options.Topology is ignored; Seed, Scale and Span
+// default as in Run.
+func RunWorld(w *topology.World, opts Options) (*Study, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 20100904
+	}
+	if opts.Scale == 0 {
+		opts.Scale = 1.0
+	}
+	if opts.Span == 0 {
+		opts.Span = 7 * 24 * time.Hour
+	}
+
+	catCfg := content.DefaultConfig()
+	if opts.Catalog != nil {
+		catCfg = *opts.Catalog
+	}
+	cat, err := content.NewCatalog(catCfg)
+	if err != nil {
+		return nil, fmt.Errorf("ytcdn: %w", err)
+	}
+
+	placement, err := core.NewPlacement(w, cat, core.OriginPolicy{CopiesPerVideo: 2})
+	if err != nil {
+		return nil, fmt.Errorf("ytcdn: %w", err)
+	}
+
+	selCfg := core.DefaultConfig()
+	if opts.Selector != nil {
+		selCfg = *opts.Selector
+	}
+	sel, err := core.NewSelector(w, placement, selCfg)
+	if err != nil {
+		return nil, fmt.Errorf("ytcdn: %w", err)
+	}
+
+	playerCfg := cdn.DefaultConfig()
+	if opts.Player != nil {
+		playerCfg = *opts.Player
+	}
+
+	var eng des.Engine
+	mem := capture.NewMemSink()
+	var sink capture.Sink = mem
+	if opts.ExtraSink != nil {
+		sink = capture.NewTeeSink(mem, opts.ExtraSink)
+	}
+
+	root := stats.NewRNG(opts.Seed)
+	sim, err := cdn.NewSimulator(w, cat, sel, &eng, sink, playerCfg, root.Fork("player"))
+	if err != nil {
+		return nil, fmt.Errorf("ytcdn: %w", err)
+	}
+
+	for i := range w.VantagePoints {
+		gen, err := workload.NewGenerator(w, i, cat, opts.Span, root.Fork("workload-"+w.VantagePoints[i].Name))
+		if err != nil {
+			return nil, fmt.Errorf("ytcdn: %w", err)
+		}
+		gen.Schedule(&eng, sim.SubmitSession)
+	}
+
+	eng.Run()
+
+	return &Study{
+		World:     w,
+		Catalog:   cat,
+		Placement: placement,
+		Selector:  sel,
+		Span:      opts.Span,
+		Seed:      opts.Seed,
+		sink:      mem,
+	}, nil
+}
+
+// Trace returns the flow records captured at the named vantage point,
+// in emission order.
+func (s *Study) Trace(dataset string) []capture.FlowRecord {
+	return s.sink.Trace(dataset)
+}
+
+// TotalFlows returns the number of flows captured across all datasets.
+func (s *Study) TotalFlows() int { return s.sink.TotalRecords() }
+
+// Experiments returns a harness that regenerates the paper's tables
+// and figures from this study.
+func (s *Study) Experiments() *experiments.Harness {
+	traces := make(map[string][]capture.FlowRecord)
+	for _, name := range DatasetNames() {
+		traces[name] = s.sink.Trace(name)
+	}
+	return experiments.New(experiments.Input{
+		World:     s.World,
+		Catalog:   s.Catalog,
+		Placement: s.Placement,
+		Traces:    traces,
+		Span:      s.Span,
+		Seed:      s.Seed,
+	})
+}
