@@ -9,6 +9,7 @@ package ytcdn
 
 import (
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -24,31 +25,49 @@ var (
 )
 
 // benchHarness builds the shared study: a full week (the diurnal and
-// video-of-the-day structure needs all seven days) at 4% volume.
+// video-of-the-day structure needs all seven days) at 4% volume. The
+// expensive shared setup (CBG geolocation, campaigns, sessionization)
+// warms through the parallel harness at one worker per core; the
+// cached artifacts are bit-identical to a sequential warm.
 func benchHarness(b *testing.B) *experiments.Harness {
 	b.Helper()
 	benchOnce.Do(func() {
 		var s *Study
-		s, benchErr = Run(Options{Scale: 0.04, Span: 7 * 24 * time.Hour})
+		s, benchErr = Run(Options{Scale: 0.04, Span: 7 * 24 * time.Hour, Parallelism: runtime.NumCPU()})
 		if benchErr != nil {
 			return
 		}
 		benchH = s.Experiments()
-		_, benchErr = benchH.Geolocate() // cache the expensive step
-		if benchErr == nil {
-			for _, name := range DatasetNames() {
-				if _, err := benchH.Dataset(name); err != nil {
-					benchErr = err
-					return
-				}
-			}
-		}
+		benchErr = benchH.Warm()
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
 	}
 	return benchH
 }
+
+// benchWarm measures the full analysis warm (geolocation + campaigns +
+// dataset pipelines) from cold caches at the given pool size, sharing
+// one study across iterations. Comparing the two pool sizes shows the
+// wall-clock win of the concurrent runtime.
+func benchWarm(b *testing.B, parallelism int) {
+	s, err := Run(Options{Scale: 0.02, Span: 7 * 24 * time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := s.Experiments().Input()
+	in.Parallelism = parallelism
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.New(in).Warm(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWarmSequential(b *testing.B) { benchWarm(b, 1) }
+
+func BenchmarkWarmParallel(b *testing.B) { benchWarm(b, runtime.NumCPU()) }
 
 func BenchmarkTableI(b *testing.B) {
 	h := benchHarness(b)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	ytcdn "github.com/ytcdn-sim/ytcdn"
@@ -27,19 +28,22 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "workload scale (1.0 = paper scale)")
 	days := flag.Int("days", 7, "capture window in days")
 	seed := flag.Int64("seed", 20100904, "random seed")
+	parallelism := flag.Int("parallelism", runtime.NumCPU(),
+		"analysis worker pool size (1 = sequential; output is identical either way)")
 	flag.Parse()
 
 	start := time.Now()
 	study, err := ytcdn.Run(ytcdn.Options{
-		Scale: *scale,
-		Span:  time.Duration(*days) * 24 * time.Hour,
-		Seed:  *seed,
+		Scale:       *scale,
+		Span:        time.Duration(*days) * 24 * time.Hour,
+		Seed:        *seed,
+		Parallelism: *parallelism,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("# simulation: scale %.3f, %d days, %d flows, %v\n\n",
-		*scale, *days, study.TotalFlows(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("# simulation: scale %.3f, %d days, %d flows, %v (analysis parallelism %d)\n\n",
+		*scale, *days, study.TotalFlows(), time.Since(start).Round(time.Millisecond), *parallelism)
 
 	if err := study.Experiments().RunAll(os.Stdout); err != nil {
 		log.Fatal(err)

@@ -1,0 +1,3 @@
+module github.com/ytcdn-sim/ytcdn
+
+go 1.21

@@ -7,6 +7,7 @@ package asdb
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
 )
@@ -33,7 +34,11 @@ func (a AS) String() string { return fmt.Sprintf("AS%d (%s)", a.Number, a.Name) 
 
 // Registry maps prefixes to ASes with longest-prefix-match lookup.
 // The zero value is an empty registry ready for Register calls.
+// Registration is not safe for concurrent use, but once registration
+// is done, any number of goroutines may Lookup concurrently (the lazy
+// sort on first lookup is mutex-guarded).
 type Registry struct {
+	mu      sync.Mutex // guards the lazy sort
 	entries []entry
 	asNames map[ASN]string
 	sorted  bool
@@ -60,6 +65,8 @@ func (r *Registry) Register(prefix ipnet.Prefix, as AS) {
 }
 
 func (r *Registry) ensureSorted() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.sorted {
 		return
 	}

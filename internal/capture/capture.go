@@ -16,6 +16,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
@@ -40,8 +41,11 @@ type Sink interface {
 	Record(dataset string, rec FlowRecord)
 }
 
-// MemSink accumulates records per dataset in memory.
+// MemSink accumulates records per dataset in memory. It is safe for
+// concurrent use, so it survives being tee'd from studies running in
+// parallel.
 type MemSink struct {
+	mu        sync.Mutex
 	byDataset map[string][]FlowRecord
 }
 
@@ -52,14 +56,24 @@ func NewMemSink() *MemSink {
 
 // Record implements Sink.
 func (m *MemSink) Record(dataset string, rec FlowRecord) {
+	m.mu.Lock()
 	m.byDataset[dataset] = append(m.byDataset[dataset], rec)
+	m.mu.Unlock()
 }
 
 // Trace returns the records captured for a dataset, in emission order.
-func (m *MemSink) Trace(dataset string) []FlowRecord { return m.byDataset[dataset] }
+// The returned slice is shared with the sink; do not call Trace while
+// records are still being emitted.
+func (m *MemSink) Trace(dataset string) []FlowRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byDataset[dataset]
+}
 
 // Datasets returns the dataset names seen so far.
 func (m *MemSink) Datasets() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]string, 0, len(m.byDataset))
 	for name := range m.byDataset {
 		out = append(out, name)
@@ -69,6 +83,8 @@ func (m *MemSink) Datasets() []string {
 
 // TotalRecords returns the record count across datasets.
 func (m *MemSink) TotalRecords() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	n := 0
 	for _, recs := range m.byDataset {
 		n += len(recs)
@@ -80,8 +96,12 @@ var _ Sink = (*MemSink)(nil)
 
 // WriterSink streams records as TSV lines, one file per study (the
 // dataset name is the first column). It buffers internally; call Flush
-// before reading the output.
+// before reading the output. WriterSink is safe for concurrent use —
+// each record is written as one atomic line, so a sink shared by
+// concurrent studies (RunMany with a common ExtraSink) produces an
+// interleaved but well-formed stream.
 type WriterSink struct {
+	mu  sync.Mutex
 	w   *bufio.Writer
 	err error
 }
@@ -93,6 +113,8 @@ func NewWriterSink(w io.Writer) *WriterSink {
 
 // Record implements Sink. Errors are sticky and surfaced by Flush.
 func (ws *WriterSink) Record(dataset string, rec FlowRecord) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
 	if ws.err != nil {
 		return
 	}
@@ -104,6 +126,8 @@ func (ws *WriterSink) Record(dataset string, rec FlowRecord) {
 
 // Flush drains the buffer and returns any write error.
 func (ws *WriterSink) Flush() error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
 	if ws.err != nil {
 		return ws.err
 	}

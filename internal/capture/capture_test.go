@@ -3,6 +3,7 @@ package capture
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -44,6 +45,35 @@ func TestMemSink(t *testing.T) {
 	}
 	if m.Trace("missing") != nil {
 		t.Error("missing dataset must return nil")
+	}
+}
+
+// TestMemSinkConcurrentRecord exercises the sink from many goroutines;
+// meaningful under -race, and the totals must still add up.
+func TestMemSinkConcurrentRecord(t *testing.T) {
+	m := NewMemSink()
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			ds := "ds1"
+			if w%2 == 1 {
+				ds = "ds2"
+			}
+			for i := 0; i < perWorker; i++ {
+				m.Record(ds, sampleRecord())
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.TotalRecords(); got != workers*perWorker {
+		t.Errorf("TotalRecords = %d, want %d", got, workers*perWorker)
+	}
+	if len(m.Trace("ds1")) != workers/2*perWorker || len(m.Trace("ds2")) != workers/2*perWorker {
+		t.Errorf("per-dataset counts wrong: %d / %d", len(m.Trace("ds1")), len(m.Trace("ds2")))
 	}
 }
 

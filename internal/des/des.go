@@ -39,6 +39,10 @@ func (h *eventHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
 	ev := old[n-1]
+	// Zero the vacated slot so the popped event's run closure (and
+	// whatever it captures) becomes collectable; otherwise the backing
+	// array pins every executed event for the lifetime of the engine.
+	old[n-1] = event{}
 	*h = old[:n-1]
 	return ev
 }

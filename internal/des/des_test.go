@@ -91,6 +91,28 @@ func TestStepOnEmpty(t *testing.T) {
 	}
 }
 
+// TestPopReleasesEventClosures checks that executed events are not
+// pinned by the heap's backing array: over a paper-scale week every
+// retained closure (and its captured session state) would otherwise
+// accumulate without bound.
+func TestPopReleasesEventClosures(t *testing.T) {
+	var e Engine
+	const n = 64
+	for i := 0; i < n; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() {})
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run", e.Pending())
+	}
+	backing := e.queue[:cap(e.queue)]
+	for i, ev := range backing {
+		if ev.run != nil {
+			t.Fatalf("slot %d still holds an executed event's closure", i)
+		}
+	}
+}
+
 func TestManyEventsOrdered(t *testing.T) {
 	var e Engine
 	const n = 10000

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -112,6 +113,72 @@ func TestHarnessCaching(t *testing.T) {
 	}
 	if ds1 != ds2 {
 		t.Error("dataset artifacts not cached")
+	}
+}
+
+// TestConcurrentHarnessAccess hammers one harness from many
+// goroutines; with -race this proves the once-guarded caches hold up,
+// and every caller must observe the same cached artifacts.
+func TestConcurrentHarnessAccess(t *testing.T) {
+	in := buildInput(t)
+	in.Parallelism = 4
+	h := New(in)
+	const workers = 8
+	type out struct {
+		ds  *dataset
+		n   int
+		err error
+	}
+	results := make([]out, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		k := k
+		go func() {
+			defer wg.Done()
+			regions, err := h.Geolocate()
+			if err != nil {
+				results[k].err = err
+				return
+			}
+			ds, err := h.Dataset(topology.DatasetEU2)
+			results[k] = out{ds: ds, n: len(regions), err: err}
+		}()
+	}
+	wg.Wait()
+	for k, r := range results {
+		if r.err != nil {
+			t.Fatalf("worker %d: %v", k, r.err)
+		}
+		if r.ds != results[0].ds {
+			t.Errorf("worker %d got a different dataset pointer", k)
+		}
+		if r.n != results[0].n {
+			t.Errorf("worker %d saw %d regions, worker 0 saw %d", k, r.n, results[0].n)
+		}
+	}
+}
+
+// TestWarmMakesExperimentsCheap warms in parallel and checks every
+// dataset cell is populated.
+func TestWarmMakesExperimentsCheap(t *testing.T) {
+	in := buildInput(t)
+	in.Parallelism = 4
+	h := New(in)
+	if err := h.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range h.DatasetNames() {
+		h.mu.Lock()
+		c, ok := h.perDS[name]
+		h.mu.Unlock()
+		if !ok {
+			t.Errorf("dataset %s not warmed", name)
+			continue
+		}
+		if c.val == nil || c.err != nil {
+			t.Errorf("dataset %s cell: val=%v err=%v", name, c.val, c.err)
+		}
 	}
 }
 

@@ -750,14 +750,20 @@ type Fig18Result struct {
 // PlanetLab runs the §VII-C active experiment and derives Figs 17/18.
 // Every invocation uploads a distinct fresh video (pull-through makes
 // a re-used video warm everywhere, which would erase the first-access
-// penalty the experiment measures).
+// penalty the experiment measures). Invocations serialize on a
+// dedicated mutex: the experiment deliberately mutates the shared
+// placement (upload + pull-through), so runs claim videos and mutate
+// state in arrival order.
 func (h *Harness) PlanetLab() (*Fig17Result, *Fig18Result, error) {
+	h.plMu.Lock()
+	defer h.plMu.Unlock()
+	run := h.plRuns
+	h.plRuns++
 	cfg := probe.DefaultPlanetLabConfig()
-	cfg.Video = content.VideoID(h.in.Catalog.N() - 1 - h.plRuns)
+	cfg.Video = content.VideoID(h.in.Catalog.N() - 1 - run)
 	if !h.in.Catalog.IsTail(cfg.Video) {
 		cfg.Video = content.VideoID(h.in.Catalog.N() - 1) // wrapped: reuse the last
 	}
-	h.plRuns++
 	res, err := probe.RunPlanetLab(h.in.World, h.in.Catalog, h.in.Placement,
 		cfg, stats.NewRNG(h.in.Seed).Fork("planetlab"))
 	if err != nil {

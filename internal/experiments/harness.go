@@ -5,12 +5,20 @@
 //
 // The harness caches the expensive shared artifacts — ping campaigns,
 // CBG calibration and per-server geolocation, per-dataset
-// sessionization — so the full suite runs each step once.
+// sessionization — so the full suite runs each step once. It is safe
+// for concurrent use: each artifact is guarded by a sync.Once (or a
+// per-key once cell), and the embarrassingly parallel stages — CBG
+// localization of every server, the per-VP ping campaigns, the five
+// per-dataset analysis pipelines — fan out across a bounded worker
+// pool sized by Input.Parallelism. Because all measurement noise comes
+// from order-independent forked RNG streams, a parallel run is
+// bit-identical to a sequential one at the same seed.
 package experiments
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/ytcdn-sim/ytcdn/internal/analysis"
@@ -20,6 +28,7 @@ import (
 	"github.com/ytcdn-sim/ytcdn/internal/geo"
 	"github.com/ytcdn-sim/ytcdn/internal/geoloc"
 	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
+	"github.com/ytcdn-sim/ytcdn/internal/par"
 	"github.com/ytcdn-sim/ytcdn/internal/probe"
 	"github.com/ytcdn-sim/ytcdn/internal/stats"
 	"github.com/ytcdn-sim/ytcdn/internal/topology"
@@ -33,22 +42,47 @@ type Input struct {
 	Traces    map[string][]capture.FlowRecord
 	Span      time.Duration
 	Seed      int64
+	// Parallelism bounds the worker pool used for the parallel stages.
+	// 1 runs strictly sequentially; values < 1 mean "one worker per
+	// core". The computed results are identical either way.
+	Parallelism int
 }
 
-// Harness runs experiments over one study. Not safe for concurrent
-// use.
+// Harness runs experiments over one study. Safe for concurrent use.
 type Harness struct {
 	in     Input
+	par    int
 	prober *probe.Prober
 
-	// Lazily computed shared state.
-	allServers []ipnet.Addr
-	cbg        *geoloc.CBG
-	regions    map[ipnet.Addr]geoloc.Region
-	locations  map[ipnet.Addr]geo.Point
-	campaigns  map[string]map[ipnet.Addr]float64 // per-VP ping results (ms)
-	perDS      map[string]*dataset
-	plRuns     int // PlanetLab invocations (each uploads a fresh video)
+	// Lazily computed shared state, each guarded by its own once.
+	serversOnce sync.Once
+	allServers  []ipnet.Addr
+
+	geoOnce   sync.Once
+	geoErr    error
+	cbg       *geoloc.CBG
+	regions   map[ipnet.Addr]geoloc.Region
+	locations map[ipnet.Addr]geo.Point
+
+	mu        sync.Mutex // guards the cell maps
+	campaigns map[string]*cell[map[ipnet.Addr]float64]
+	perDS     map[string]*cell[*dataset]
+
+	plMu   sync.Mutex // serializes PlanetLab runs (they mutate the placement)
+	plRuns int        // PlanetLab invocations (each uploads a fresh video)
+}
+
+// cell computes a value exactly once, caching result and error, while
+// letting distinct cells compute concurrently.
+type cell[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (c *cell[T]) do(compute func() (T, error)) (T, error) {
+	c.once.Do(func() { c.val, c.err = compute() })
+	return c.val, c.err
 }
 
 // dataset caches per-trace analysis artifacts.
@@ -63,53 +97,64 @@ type dataset struct {
 	sessions []analysis.Session // T = 1s over google flows
 }
 
-// New builds a harness.
+// New builds a harness. Build at most one harness per study when
+// using PlanetLab: the experiment mutates the shared placement and
+// claims fresh videos through this harness's counter, so two
+// harnesses over one Input would interfere.
 func New(in Input) *Harness {
 	return &Harness{
 		in:        in,
+		par:       par.Normalize(in.Parallelism),
 		prober:    probe.New(in.World, stats.NewRNG(in.Seed).Fork("probe")),
-		campaigns: make(map[string]map[ipnet.Addr]float64),
-		perDS:     make(map[string]*dataset),
+		campaigns: make(map[string]*cell[map[ipnet.Addr]float64]),
+		perDS:     make(map[string]*cell[*dataset]),
 	}
 }
 
 // Input returns the harness input.
 func (h *Harness) Input() Input { return h.in }
 
+// Parallelism returns the effective worker-pool bound.
+func (h *Harness) Parallelism() int { return h.par }
+
 // servers returns the sorted union of distinct server addresses across
 // all traces.
 func (h *Harness) servers() []ipnet.Addr {
-	if h.allServers != nil {
-		return h.allServers
-	}
-	seen := make(map[ipnet.Addr]struct{})
-	for _, recs := range h.in.Traces {
-		for _, r := range recs {
-			seen[r.Server] = struct{}{}
+	h.serversOnce.Do(func() {
+		seen := make(map[ipnet.Addr]struct{})
+		for _, recs := range h.in.Traces {
+			for _, r := range recs {
+				seen[r.Server] = struct{}{}
+			}
 		}
+		out := make([]ipnet.Addr, 0, len(seen))
+		for a := range seen {
+			out = append(out, a)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		h.allServers = out
+	})
+	return h.allServers
+}
+
+// campaignCell returns the once-cell for a vantage point's campaign.
+func (h *Harness) campaignCell(vpName string) *cell[map[ipnet.Addr]float64] {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.campaigns[vpName]
+	if !ok {
+		c = &cell[map[ipnet.Addr]float64]{}
+		h.campaigns[vpName] = c
 	}
-	out := make([]ipnet.Addr, 0, len(seen))
-	for a := range seen {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	h.allServers = out
-	return out
+	return c
 }
 
 // campaign returns (caching) the per-server min-RTT ping results from
 // one vantage point, in milliseconds.
 func (h *Harness) campaign(vpName string) (map[ipnet.Addr]float64, error) {
-	if c, ok := h.campaigns[vpName]; ok {
-		return c, nil
-	}
-	targets := h.datasetServers(vpName)
-	c, err := h.prober.CampaignFromVP(vpName, targets, 10)
-	if err != nil {
-		return nil, err
-	}
-	h.campaigns[vpName] = c
-	return c, nil
+	return h.campaignCell(vpName).do(func() (map[ipnet.Addr]float64, error) {
+		return h.prober.CampaignFromVP(vpName, h.datasetServers(vpName), 10)
+	})
 }
 
 // datasetServers returns the sorted distinct servers of one trace.
@@ -128,32 +173,47 @@ func (h *Harness) datasetServers(vpName string) []ipnet.Addr {
 
 // Geolocate runs the full CBG pipeline once: calibrate bestlines on
 // the landmark cross-RTT matrix, then localize every distinct server
-// seen in any trace.
+// seen in any trace. Per-server localizations (one landmark sweep plus
+// one disc intersection each) are independent, so they fan out across
+// the worker pool; each server's measurement noise comes from a stream
+// forked by server address, and results merge in sorted-address order,
+// so the outcome does not depend on the pool size.
 func (h *Harness) Geolocate() (map[ipnet.Addr]geoloc.Region, error) {
-	if h.regions != nil {
-		return h.regions, nil
-	}
-	lms := h.prober.LandmarkInfos()
-	cross := h.prober.CrossRTTMatrix(5)
-	cbg, err := geoloc.Calibrate(lms, func(i, j int) time.Duration { return cross[i][j] })
-	if err != nil {
-		return nil, fmt.Errorf("experiments: CBG calibration: %w", err)
-	}
-	h.cbg = cbg
-	regions := make(map[ipnet.Addr]geoloc.Region, len(h.servers()))
-	locs := make(map[ipnet.Addr]geo.Point, len(h.servers()))
-	for _, addr := range h.servers() {
-		rtts, err := h.prober.LandmarkRTTs(addr, 3)
+	h.geoOnce.Do(func() {
+		lms := h.prober.LandmarkInfos()
+		cross := h.prober.CrossRTTMatrixParallel(5, h.par)
+		cbg, err := geoloc.Calibrate(lms, func(i, j int) time.Duration { return cross[i][j] })
 		if err != nil {
-			continue
+			h.geoErr = fmt.Errorf("experiments: CBG calibration: %w", err)
+			return
 		}
-		region := cbg.Locate(rtts)
-		regions[addr] = region
-		locs[addr] = region.Centroid
-	}
-	h.regions = regions
-	h.locations = locs
-	return regions, nil
+		h.cbg = cbg
+
+		servers := h.servers()
+		located := make([]bool, len(servers))
+		results := make([]geoloc.Region, len(servers))
+		par.ForEach(len(servers), h.par, func(i int) {
+			rtts, err := h.prober.LandmarkRTTs(servers[i], 3)
+			if err != nil {
+				return // unroutable servers drop out, as in real sweeps
+			}
+			results[i] = cbg.Locate(rtts)
+			located[i] = true
+		})
+
+		regions := make(map[ipnet.Addr]geoloc.Region, len(servers))
+		locs := make(map[ipnet.Addr]geo.Point, len(servers))
+		for i, addr := range servers {
+			if !located[i] {
+				continue
+			}
+			regions[addr] = results[i]
+			locs[addr] = results[i].Centroid
+		}
+		h.regions = regions
+		h.locations = locs
+	})
+	return h.regions, h.geoErr
 }
 
 // Locations returns the CBG position estimates per server.
@@ -167,11 +227,21 @@ func (h *Harness) Locations() (map[ipnet.Addr]geo.Point, error) {
 // Dataset returns (computing on first use) the cached per-trace
 // analysis artifacts: the §IV Google filter, flow classification,
 // data-center clustering from CBG locations, the preferred DC, and
-// T=1s sessions.
+// T=1s sessions. Distinct datasets may compute concurrently; repeated
+// calls for one dataset share a single computation.
 func (h *Harness) Dataset(name string) (*dataset, error) {
-	if ds, ok := h.perDS[name]; ok {
-		return ds, nil
+	h.mu.Lock()
+	c, ok := h.perDS[name]
+	if !ok {
+		c = &cell[*dataset]{}
+		h.perDS[name] = c
 	}
+	h.mu.Unlock()
+	return c.do(func() (*dataset, error) { return h.buildDataset(name) })
+}
+
+// buildDataset computes one dataset's artifacts.
+func (h *Harness) buildDataset(name string) (*dataset, error) {
 	idx := h.in.World.VPIndex(name)
 	if idx < 0 {
 		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
@@ -205,7 +275,7 @@ func (h *Harness) Dataset(name string) (*dataset, error) {
 	pref := analysis.FindPreferred(video, dcmap, rtts, vp.City.Point)
 	sessions := analysis.Sessionize(google, time.Second)
 
-	ds := &dataset{
+	return &dataset{
 		vp:       vp,
 		raw:      raw,
 		google:   google,
@@ -214,9 +284,23 @@ func (h *Harness) Dataset(name string) (*dataset, error) {
 		dcmap:    dcmap,
 		pref:     pref,
 		sessions: sessions,
+	}, nil
+}
+
+// Warm computes every shared artifact — geolocation, then the per-VP
+// ping campaigns and per-dataset pipelines — using the worker pool.
+// After Warm, every table and figure is a cheap aggregation. Warm is
+// idempotent and returns the first error in dataset order.
+func (h *Harness) Warm() error {
+	if _, err := h.Geolocate(); err != nil {
+		return err
 	}
-	h.perDS[name] = ds
-	return ds, nil
+	names := h.DatasetNames()
+	errs := make([]error, len(names))
+	par.ForEach(len(names), h.par, func(i int) {
+		_, errs[i] = h.Dataset(names[i])
+	})
+	return par.FirstError(errs)
 }
 
 // DatasetNames returns the dataset names present in the input, in the

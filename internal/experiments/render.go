@@ -10,7 +10,15 @@ type renderable interface{ Render() string }
 
 // RunAll executes every table and figure in paper order and writes the
 // rendered output to w. It stops at the first failing experiment.
+//
+// The shared artifacts are warmed through the worker pool first, so at
+// Parallelism > 1 the expensive stages overlap; the rendered output is
+// byte-identical to a sequential run because every experiment reads
+// the same cached artifacts. Warm errors are deliberately not
+// reported here: the failing step re-surfaces them below with the
+// table or figure name attached, exactly as a sequential pass would.
 func (h *Harness) RunAll(w io.Writer) error {
+	_ = h.Warm()
 	steps := []struct {
 		name string
 		run  func() (renderable, error)

@@ -1,0 +1,63 @@
+// Package par is the tiny shared worker-pool primitive behind every
+// parallel stage in the repository (the experiments harness, study
+// sweeps, measurement fan-outs). Deterministic results come from the
+// caller's side of the contract: write into per-index slots and merge
+// in index order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Normalize maps a parallelism knob to a concrete worker count:
+// values < 1 mean "one worker per core".
+func Normalize(par int) int {
+	if par < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return par
+}
+
+// ForEach invokes fn(i) for every i in [0, n), running at most par
+// calls concurrently. fn must only touch state that is safe to share.
+func ForEach(n, par int, fn func(i int)) {
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// FirstError returns the first non-nil error in index order, so a
+// parallel stage reports the same error a sequential pass would.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -14,17 +14,24 @@ import (
 	"github.com/ytcdn-sim/ytcdn/internal/geoloc"
 	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
 	"github.com/ytcdn-sim/ytcdn/internal/netmodel"
+	"github.com/ytcdn-sim/ytcdn/internal/par"
 	"github.com/ytcdn-sim/ytcdn/internal/stats"
 	"github.com/ytcdn-sim/ytcdn/internal/topology"
 )
 
-// Prober issues RTT measurements against a world.
+// Prober issues RTT measurements against a world. Every measurement
+// draws its noise from a stream forked off the prober's base RNG and
+// labelled by the measured pair, so results depend only on what is
+// measured — never on the order measurements are issued in. That makes
+// the Prober safe for concurrent use and keeps parallel measurement
+// campaigns bit-identical to sequential ones.
 type Prober struct {
 	w *topology.World
 	g *stats.RNG
 }
 
-// New returns a prober drawing measurement noise from g.
+// New returns a prober drawing measurement noise from streams forked
+// off g.
 func New(w *topology.World, g *stats.RNG) *Prober {
 	return &Prober{w: w, g: g}
 }
@@ -47,13 +54,16 @@ func (p *Prober) serverEndpoint(addr ipnet.Addr) (netmodel.Endpoint, error) {
 }
 
 // MinRTT probes target n times from the given endpoint and returns the
-// minimum, the standard latency estimate.
+// minimum, the standard latency estimate. The measurement noise is a
+// pure function of (prober seed, from.ID, target), so repeating a
+// measurement reproduces it.
 func (p *Prober) MinRTT(from netmodel.Endpoint, target ipnet.Addr, n int) (time.Duration, error) {
 	ep, err := p.serverEndpoint(target)
 	if err != nil {
 		return 0, err
 	}
-	return p.w.Net.MinRTT(from, ep, n, p.g), nil
+	g := p.g.Fork("minrtt/" + from.ID + "/" + target.String())
+	return p.w.Net.MinRTT(from, ep, n, g), nil
 }
 
 // MinRTTFromVP probes target from a vantage point's monitored network.
@@ -69,9 +79,14 @@ func (p *Prober) MinRTTFromVP(vpName string, target ipnet.Addr, n int) (time.Dur
 // returns per-address minimum RTTs in milliseconds (the Fig 2 / Fig 7
 // campaigns).
 func (p *Prober) CampaignFromVP(vpName string, targets []ipnet.Addr, n int) (map[ipnet.Addr]float64, error) {
+	idx := p.w.VPIndex(vpName)
+	if idx < 0 {
+		return nil, fmt.Errorf("probe: unknown vantage point %q", vpName)
+	}
+	from := p.w.VantagePoints[idx].Endpoint()
 	out := make(map[ipnet.Addr]float64, len(targets))
 	for _, t := range targets {
-		rtt, err := p.MinRTT(p.w.VantagePoints[p.w.VPIndex(vpName)].Endpoint(), t, n)
+		rtt, err := p.MinRTT(from, t, n)
 		if err != nil {
 			// Unroutable targets simply drop out of the campaign, as
 			// unreachable hosts do in real ping sweeps.
@@ -94,34 +109,67 @@ func (p *Prober) LandmarkInfos() []geoloc.LandmarkInfo {
 	return out
 }
 
+// LandmarkPairRTT measures one landmark-to-landmark minimum RTT (a
+// single CBG calibration input). The noise stream is forked per
+// ordered pair, so measuring pairs in any order — or concurrently —
+// reproduces the same matrix.
+func (p *Prober) LandmarkPairRTT(i, j, samples int) time.Duration {
+	if i > j {
+		i, j = j, i
+	}
+	if i == j {
+		return 0
+	}
+	g := p.g.Fork(fmt.Sprintf("cross/%d/%d", i, j))
+	return p.w.Net.MinRTT(p.w.Landmarks[i].Endpoint(), p.w.Landmarks[j].Endpoint(), samples, g)
+}
+
 // CrossRTTMatrix measures landmark-to-landmark minimum RTTs for CBG
 // calibration.
 func (p *Prober) CrossRTTMatrix(samples int) [][]time.Duration {
+	return p.CrossRTTMatrixParallel(samples, 1)
+}
+
+// CrossRTTMatrixParallel measures the same matrix fanning the
+// independent pair measurements out across a worker pool of the given
+// size. The result is identical at every pool size.
+func (p *Prober) CrossRTTMatrixParallel(samples, parallelism int) [][]time.Duration {
 	n := len(p.w.Landmarks)
 	m := make([][]time.Duration, n)
 	for i := range m {
 		m[i] = make([]time.Duration, n)
 	}
+	type pair struct{ i, j int }
+	pairs := make([]pair, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			rtt := p.w.Net.MinRTT(p.w.Landmarks[i].Endpoint(), p.w.Landmarks[j].Endpoint(), samples, p.g)
-			m[i][j] = rtt
-			m[j][i] = rtt
+			pairs = append(pairs, pair{i, j})
 		}
+	}
+	vals := make([]time.Duration, len(pairs))
+	par.ForEach(len(pairs), parallelism, func(k int) {
+		vals[k] = p.LandmarkPairRTT(pairs[k].i, pairs[k].j, samples)
+	})
+	for k, pr := range pairs {
+		m[pr.i][pr.j] = vals[k]
+		m[pr.j][pr.i] = vals[k]
 	}
 	return m
 }
 
 // LandmarkRTTs measures a target from every landmark (one CBG
-// localization input).
+// localization input). The whole sweep draws from one stream forked
+// per target, so localizing many targets concurrently reproduces the
+// sequential measurements exactly.
 func (p *Prober) LandmarkRTTs(target ipnet.Addr, samples int) ([]time.Duration, error) {
 	ep, err := p.serverEndpoint(target)
 	if err != nil {
 		return nil, err
 	}
+	g := p.g.Fork("lmrtt/" + target.String())
 	out := make([]time.Duration, len(p.w.Landmarks))
 	for i, lm := range p.w.Landmarks {
-		out[i] = p.w.Net.MinRTT(lm.Endpoint(), ep, samples, p.g)
+		out[i] = p.w.Net.MinRTT(lm.Endpoint(), ep, samples, g)
 	}
 	return out, nil
 }

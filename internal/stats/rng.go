@@ -5,32 +5,52 @@
 package stats
 
 import (
+	"encoding/binary"
 	"hash/fnv"
 	"math"
 	"math/rand"
 )
 
 // RNG is a deterministic random stream. It wraps math/rand with a few
-// distributions the workload model needs. RNG is not safe for
-// concurrent use; derive independent streams with Fork instead of
-// sharing one.
+// distributions the workload model needs. Drawing from an RNG is not
+// safe for concurrent use; derive independent streams with Fork
+// (which is safe to call concurrently) instead of sharing one.
 type RNG struct {
-	r *rand.Rand
+	seed int64
+	r    *rand.Rand
 }
 
 // NewRNG returns a stream seeded with seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	return &RNG{seed: seed, r: rand.New(rand.NewSource(seed))}
 }
 
-// Fork derives an independent stream labelled by name. Streams forked
-// with the same (seed, name) pair are identical across runs, which
-// keeps every experiment bit-reproducible regardless of the order in
-// which subsystems draw random numbers.
-func (g *RNG) Fork(name string) *RNG {
+// Seed returns the seed the stream was created with.
+func (g *RNG) Seed() int64 { return g.seed }
+
+// ForkSeed derives the seed of the child stream labelled name from a
+// parent seed. It is a pure function of its arguments, so child
+// streams are independent of how much the parent has drawn and of the
+// order in which siblings are forked.
+func ForkSeed(seed int64, name string) int64 {
 	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	_, _ = h.Write(b[:])
+	_, _ = h.Write([]byte{0})
 	_, _ = h.Write([]byte(name))
-	return NewRNG(int64(h.Sum64()) ^ g.r.Int63())
+	return int64(h.Sum64())
+}
+
+// Fork derives an independent stream labelled by name. The child seed
+// depends only on the parent's seed and the name — not on the parent's
+// draw position — which keeps every experiment bit-reproducible
+// regardless of the order in which subsystems draw random numbers, and
+// makes Fork safe to call from concurrent goroutines. Forking the same
+// name twice from one parent yields identical streams; use distinct
+// names for independent streams.
+func (g *RNG) Fork(name string) *RNG {
+	return NewRNG(ForkSeed(g.seed, name))
 }
 
 // Float64 returns a uniform draw in [0, 1).

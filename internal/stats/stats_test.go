@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -36,6 +37,62 @@ func TestRNGForkIndependentButReproducible(t *testing.T) {
 	}
 	if !diff {
 		t.Error("Fork with different names must differ")
+	}
+}
+
+// TestRNGForkOrderIndependent pins the contract the concurrent
+// analysis runtime depends on: a fork's stream is a pure function of
+// (parent seed, name), no matter how much the parent has drawn or how
+// many siblings were forked first.
+func TestRNGForkOrderIndependent(t *testing.T) {
+	fresh := NewRNG(42).Fork("x")
+	busy := NewRNG(42)
+	for i := 0; i < 17; i++ {
+		busy.Float64() // consume parent state
+	}
+	busy.Fork("sibling")
+	late := busy.Fork("x")
+	for i := 0; i < 50; i++ {
+		if fresh.Float64() != late.Float64() {
+			t.Fatal("fork stream depends on parent draw position or sibling order")
+		}
+	}
+}
+
+func TestForkSeedPure(t *testing.T) {
+	if ForkSeed(1, "a") != ForkSeed(1, "a") {
+		t.Error("ForkSeed not deterministic")
+	}
+	if ForkSeed(1, "a") == ForkSeed(1, "b") {
+		t.Error("ForkSeed ignores name")
+	}
+	if ForkSeed(1, "a") == ForkSeed(2, "a") {
+		t.Error("ForkSeed ignores seed")
+	}
+	if got := NewRNG(9).Fork("n").Seed(); got != ForkSeed(9, "n") {
+		t.Errorf("Fork seed = %d, want ForkSeed = %d", got, ForkSeed(9, "n"))
+	}
+}
+
+// TestRNGForkConcurrent forks from one parent in many goroutines;
+// meaningful under -race.
+func TestRNGForkConcurrent(t *testing.T) {
+	parent := NewRNG(3)
+	var wg sync.WaitGroup
+	vals := make([]float64, 16)
+	for k := range vals {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vals[k] = parent.Fork("worker").Float64()
+		}()
+	}
+	wg.Wait()
+	for k := range vals {
+		if vals[k] != vals[0] {
+			t.Fatal("same-name forks must agree regardless of goroutine schedule")
+		}
 	}
 }
 

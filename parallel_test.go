@@ -1,0 +1,149 @@
+package ytcdn
+
+// Tests for the concurrent analysis runtime: a parallel harness and a
+// parallel study sweep must produce bit-identical results to their
+// sequential counterparts at the same seed. Run with -race.
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/capture"
+)
+
+// runAllAt builds a fresh identical study and renders the complete
+// experiment suite at the given worker-pool size. Each pool size gets
+// its own study because the PlanetLab experiment deliberately mutates
+// the placement (upload + pull-through), so two harnesses over one
+// study are not independent.
+func runAllAt(t *testing.T, parallelism int) []byte {
+	t.Helper()
+	s, err := Run(Options{Scale: 0.01, Span: 2 * 24 * time.Hour, Seed: 11, Parallelism: parallelism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Experiments().RunAll(&buf); err != nil {
+		t.Fatalf("RunAll at parallelism %d: %v", parallelism, err)
+	}
+	return buf.Bytes()
+}
+
+func TestParallelHarnessMatchesSequential(t *testing.T) {
+	seq := runAllAt(t, 1)
+	par := runAllAt(t, 8)
+	if !bytes.Equal(seq, par) {
+		i := 0
+		for i < len(seq) && i < len(par) && seq[i] == par[i] {
+			i++
+		}
+		lo, hi := i-80, i+80
+		if lo < 0 {
+			lo = 0
+		}
+		clip := func(b []byte) string {
+			if hi > len(b) {
+				return string(b[lo:])
+			}
+			return string(b[lo:hi])
+		}
+		t.Fatalf("parallel output diverges from sequential at byte %d:\nseq: %q\npar: %q",
+			i, clip(seq), clip(par))
+	}
+}
+
+func TestRunManyMatchesSequentialRuns(t *testing.T) {
+	optss := Replicates(Options{Scale: 0.002, Span: 24 * time.Hour, Seed: 5}, 3)
+	many, err := RunMany(optss, len(optss))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(many) != len(optss) {
+		t.Fatalf("got %d studies, want %d", len(many), len(optss))
+	}
+	for i, opts := range optss {
+		solo, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if many[i].TotalFlows() != solo.TotalFlows() {
+			t.Fatalf("replicate %d: RunMany flows %d != Run flows %d",
+				i, many[i].TotalFlows(), solo.TotalFlows())
+		}
+		for _, name := range DatasetNames() {
+			a, b := many[i].Trace(name), solo.Trace(name)
+			if len(a) != len(b) {
+				t.Fatalf("replicate %d %s: %d vs %d records", i, name, len(a), len(b))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("replicate %d %s: record %d differs", i, name, j)
+				}
+			}
+		}
+	}
+}
+
+// TestRunManySharedWriterSink drives the documented sweep-to-one-file
+// pattern: replicates carry the base ExtraSink, so concurrent studies
+// write the same WriterSink; every record must arrive as a well-formed
+// line. Meaningful under -race.
+func TestRunManySharedWriterSink(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "sweep-*.tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ws := capture.NewWriterSink(f)
+	optss := Replicates(Options{Scale: 0.002, Span: 24 * time.Hour, Seed: 3, ExtraSink: ws}, 3)
+	studies, err := RunMany(optss, len(optss))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	traces, err := capture.ReadTraces(f) // errors on any malformed line
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, s := range studies {
+		want += s.TotalFlows()
+	}
+	got := 0
+	for _, recs := range traces {
+		got += len(recs)
+	}
+	if got != want {
+		t.Errorf("file has %d records, studies produced %d", got, want)
+	}
+}
+
+func TestReplicatesDeriveDistinctStableSeeds(t *testing.T) {
+	base := Options{Scale: 0.01, Seed: 7}
+	a := Replicates(base, 4)
+	seen := make(map[int64]bool)
+	for i, opts := range a {
+		if opts.Scale != base.Scale {
+			t.Errorf("replicate %d lost base options", i)
+		}
+		if seen[opts.Seed] {
+			t.Errorf("replicate %d reuses seed %d", i, opts.Seed)
+		}
+		seen[opts.Seed] = true
+	}
+	// Order-independent: replicate i's seed does not depend on n.
+	b := Replicates(base, 2)
+	for i := range b {
+		if b[i].Seed != a[i].Seed {
+			t.Errorf("replicate %d seed changed with sweep size: %d vs %d", i, b[i].Seed, a[i].Seed)
+		}
+	}
+}

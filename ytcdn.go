@@ -22,6 +22,7 @@ package ytcdn
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/ytcdn-sim/ytcdn/internal/capture"
@@ -30,6 +31,7 @@ import (
 	"github.com/ytcdn-sim/ytcdn/internal/core"
 	"github.com/ytcdn-sim/ytcdn/internal/des"
 	"github.com/ytcdn-sim/ytcdn/internal/experiments"
+	"github.com/ytcdn-sim/ytcdn/internal/par"
 	"github.com/ytcdn-sim/ytcdn/internal/stats"
 	"github.com/ytcdn-sim/ytcdn/internal/topology"
 	"github.com/ytcdn-sim/ytcdn/internal/workload"
@@ -66,20 +68,33 @@ type Options struct {
 	Player   *cdn.Config
 	// ExtraSink, when non-nil, additionally receives every flow record
 	// as it is emitted (e.g. a capture.WriterSink streaming to disk).
+	// When the same sink is shared by concurrent studies (RunMany), it
+	// must be safe for concurrent use.
 	ExtraSink capture.Sink
+	// Parallelism bounds the worker pool of the analysis harness
+	// returned by Study.Experiments (per-server CBG geolocation, the
+	// per-VP ping campaigns, the per-dataset pipelines). 1 means
+	// strictly sequential; 0 or negative means one worker per core.
+	// The computed tables and figures are bit-identical either way;
+	// the simulation itself is single-threaded by design.
+	Parallelism int
 }
 
 // Study is the result of a run: the world (for active probing) and the
 // captured traces (for passive analysis).
 type Study struct {
-	World     *topology.World
-	Catalog   *content.Catalog
-	Placement *core.Placement
-	Selector  *core.Selector
-	Span      time.Duration
-	Seed      int64
+	World       *topology.World
+	Catalog     *content.Catalog
+	Placement   *core.Placement
+	Selector    *core.Selector
+	Span        time.Duration
+	Seed        int64
+	Parallelism int
 
 	sink *capture.MemSink
+
+	expOnce sync.Once
+	exp     *experiments.Harness
 }
 
 // Run builds the paper world, generates the five networks' workloads,
@@ -178,14 +193,46 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 	eng.Run()
 
 	return &Study{
-		World:     w,
-		Catalog:   cat,
-		Placement: placement,
-		Selector:  sel,
-		Span:      opts.Span,
-		Seed:      opts.Seed,
-		sink:      mem,
+		World:       w,
+		Catalog:     cat,
+		Placement:   placement,
+		Selector:    sel,
+		Span:        opts.Span,
+		Seed:        opts.Seed,
+		Parallelism: opts.Parallelism,
+		sink:        mem,
 	}, nil
+}
+
+// RunMany executes one independent study per Options entry, running up
+// to parallelism of them concurrently (values < 1 mean one per core).
+// Every study gets its own world, DES engine and RNG streams forked
+// from its own seed, so result i is bit-identical to Run(optss[i]) no
+// matter how the studies are scheduled. The first error in index order
+// is returned.
+func RunMany(optss []Options, parallelism int) ([]*Study, error) {
+	studies := make([]*Study, len(optss))
+	errs := make([]error, len(optss))
+	par.ForEach(len(optss), par.Normalize(parallelism), func(i int) {
+		studies[i], errs[i] = Run(optss[i])
+	})
+	return studies, par.FirstError(errs)
+}
+
+// Replicates derives n copies of base whose seeds are forked from the
+// base seed by replicate index, for seed-sweep studies via RunMany.
+// The derivation is order-independent, so replicate i has the same
+// seed no matter how many replicates are requested.
+func Replicates(base Options, n int) []Options {
+	if base.Seed == 0 {
+		base.Seed = 20100904
+	}
+	out := make([]Options, n)
+	for i := range out {
+		out[i] = base
+		out[i].Seed = stats.ForkSeed(base.Seed, fmt.Sprintf("replicate/%d", i))
+	}
+	return out
 }
 
 // Trace returns the flow records captured at the named vantage point,
@@ -197,19 +244,26 @@ func (s *Study) Trace(dataset string) []capture.FlowRecord {
 // TotalFlows returns the number of flows captured across all datasets.
 func (s *Study) TotalFlows() int { return s.sink.TotalRecords() }
 
-// Experiments returns a harness that regenerates the paper's tables
-// and figures from this study.
+// Experiments returns the harness that regenerates the paper's tables
+// and figures from this study. The harness is built once and shared
+// by every caller: its caches are concurrency-safe, and the PlanetLab
+// experiment mutates per-study state (placement pull-through, the
+// fresh-video counter) that must be claimed through a single harness.
 func (s *Study) Experiments() *experiments.Harness {
-	traces := make(map[string][]capture.FlowRecord)
-	for _, name := range DatasetNames() {
-		traces[name] = s.sink.Trace(name)
-	}
-	return experiments.New(experiments.Input{
-		World:     s.World,
-		Catalog:   s.Catalog,
-		Placement: s.Placement,
-		Traces:    traces,
-		Span:      s.Span,
-		Seed:      s.Seed,
+	s.expOnce.Do(func() {
+		traces := make(map[string][]capture.FlowRecord)
+		for _, name := range DatasetNames() {
+			traces[name] = s.sink.Trace(name)
+		}
+		s.exp = experiments.New(experiments.Input{
+			World:       s.World,
+			Catalog:     s.Catalog,
+			Placement:   s.Placement,
+			Traces:      traces,
+			Span:        s.Span,
+			Seed:        s.Seed,
+			Parallelism: s.Parallelism,
+		})
 	})
+	return s.exp
 }
