@@ -425,3 +425,23 @@ func BenchmarkFullStudyAndAllExperiments(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFullStudyDiskStore is the same end-to-end run with capture
+// spilled to the disk-backed tracestore: the cost of the columnar
+// round trip in exchange for flat RSS at paper scale. Small segments
+// force many spills, the worst case for the disk path.
+func BenchmarkFullStudyDiskStore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := Run(Options{
+			Scale: 0.02, Span: 7 * 24 * time.Hour,
+			Store: &StoreOptions{Dir: b.TempDir(), SegmentRecords: 4096},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Experiments().RunAll(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(s.TotalFlows()), "flows")
+	}
+}

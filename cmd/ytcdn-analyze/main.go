@@ -1,15 +1,24 @@
 // Command ytcdn-analyze runs the passive side of the paper's analysis
-// over a trace file produced by ytcdn-sim: Tstat-style flow
-// classification (1000-byte rule), video-session grouping with a
-// configurable gap T, and per-dataset summaries.
+// over captured traces: Tstat-style flow classification (1000-byte
+// rule), video-session grouping with a configurable gap T, and
+// per-dataset summaries.
 //
 // It deliberately works without the simulator world — everything it
 // prints is derived from the trace alone, like the paper's offline
 // analysis.
 //
+// The input is either a TSV trace file produced by ytcdn-sim, or a
+// disk-backed tracestore directory produced with the -store option of
+// ytcdn-experiments / the public API. A TSV file is loaded into
+// memory; a store directory is analyzed fully streaming — summaries
+// and classification in one bounded-memory pass per dataset, and
+// sessionization through the start-ordered scan with only the
+// currently open sessions in memory.
+//
 // Usage:
 //
 //	ytcdn-analyze -t 1s traces.tsv
+//	ytcdn-analyze -t 1s /path/to/store-dir
 package main
 
 import (
@@ -17,11 +26,11 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
 	"time"
 
 	"github.com/ytcdn-sim/ytcdn/internal/analysis"
 	"github.com/ytcdn-sim/ytcdn/internal/capture"
+	"github.com/ytcdn-sim/ytcdn/internal/tracestore"
 )
 
 func main() {
@@ -31,45 +40,134 @@ func main() {
 	gap := flag.Duration("t", time.Second, "session gap threshold T")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: ytcdn-analyze [-t gap] traces.tsv")
+		log.Fatal("usage: ytcdn-analyze [-t gap] traces.tsv | store-dir")
 	}
+	path := flag.Arg(0)
 
-	f, err := os.Open(flag.Arg(0))
+	info, err := os.Stat(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
-
-	traces, err := readAll(f)
-	if err != nil {
+	if info.IsDir() {
+		if err := analyzeStore(path, *gap); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := analyzeTSV(path, *gap); err != nil {
 		log.Fatal(err)
 	}
+}
 
-	names := make([]string, 0, len(traces))
-	for name := range traces {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+// row is the per-dataset output line shared by both input modes.
+type row struct {
+	sum      analysis.TraceSummary
+	video    int
+	control  int
+	sessions int
+	single   float64
+}
 
+func printHeader() {
 	fmt.Printf("%-12s %9s %10s %9s %9s | %7s %7s | %9s %7s\n",
 		"dataset", "flows", "GB", "servers", "clients", "video", "control", "sessions", "1-flow")
-	for _, name := range names {
+}
+
+func printRow(name string, r row) {
+	fmt.Printf("%-12s %9d %10.2f %9d %9d | %7d %7d | %9d %6.1f%%\n",
+		name, r.sum.Flows, float64(r.sum.Bytes)/1e9, r.sum.Servers, r.sum.Clients,
+		r.video, r.control, r.sessions, r.single*100)
+}
+
+// analyzeTSV loads a WriterSink-format trace file into memory.
+func analyzeTSV(path string, gap time.Duration) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	traces, err := capture.ReadTraces(f)
+	if err != nil {
+		return err
+	}
+	src := capture.MapSource(traces)
+	printHeader()
+	for _, name := range src.Datasets() {
 		recs := traces[name]
-		sum := analysis.Summarize(recs)
 		video, control := analysis.SplitFlows(recs)
-		sessions := analysis.Sessionize(recs, *gap)
+		sessions := analysis.Sessionize(recs, gap)
 		hist := analysis.FlowsPerSessionHistogram(sessions, 10)
 		single := 0.0
 		if len(hist) > 0 {
 			single = hist[0]
 		}
-		fmt.Printf("%-12s %9d %10.2f %9d %9d | %7d %7d | %9d %6.1f%%\n",
-			name, sum.Flows, float64(sum.Bytes)/1e9, sum.Servers, sum.Clients,
-			len(video), len(control), len(sessions), single*100)
+		printRow(name, row{
+			sum:      analysis.Summarize(recs),
+			video:    len(video),
+			control:  len(control),
+			sessions: len(sessions),
+			single:   single,
+		})
 	}
+	return nil
 }
 
-// readAll parses the whole TSV stream.
-func readAll(f *os.File) (map[string][]capture.FlowRecord, error) {
-	return capture.ReadTraces(f)
+// analyzeStore streams a tracestore directory: one summary pass per
+// dataset plus one start-ordered pass feeding the bounded-memory
+// sessionizer, so the trace is never materialized.
+func analyzeStore(dir string, gap time.Duration) error {
+	r, err := tracestore.OpenReader(dir)
+	if err != nil {
+		return err
+	}
+	printHeader()
+	for _, name := range r.Datasets() {
+		if r.Truncated(name) {
+			fmt.Fprintf(os.Stderr, "ytcdn-analyze: %s: shard truncated, analyzing the %d recovered records\n",
+				name, r.Records(name))
+		}
+		// One pass covers the Table-I summary and the video/control
+		// classification together.
+		var out row
+		servers := make(map[uint32]struct{})
+		clients := make(map[uint32]struct{})
+		it := r.Iter(name)
+		for {
+			rec, ok := it.Next()
+			if !ok {
+				break
+			}
+			out.sum.Flows++
+			out.sum.Bytes += rec.Bytes
+			servers[uint32(rec.Server)] = struct{}{}
+			clients[uint32(rec.Client)] = struct{}{}
+			if analysis.IsVideoFlow(rec) {
+				out.video++
+			} else {
+				out.control++
+			}
+		}
+		if err := it.Err(); err != nil {
+			return err
+		}
+		out.sum.Servers = len(servers)
+		out.sum.Clients = len(clients)
+		flowCounts := make([]int, 10)
+		err = analysis.StreamSessions(r.ScanByStart(name), gap, func(s analysis.Session) {
+			out.sessions++
+			n := len(s.Flows)
+			if n > len(flowCounts) {
+				n = len(flowCounts)
+			}
+			flowCounts[n-1]++
+		})
+		if err != nil {
+			return err
+		}
+		if out.sessions > 0 {
+			out.single = float64(flowCounts[0]) / float64(out.sessions)
+		}
+		printRow(name, out)
+	}
+	return nil
 }

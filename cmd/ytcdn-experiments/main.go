@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	ytcdn-experiments -scale 1.0        # full paper scale (~1 min)
-//	ytcdn-experiments -scale 0.05       # quick pass (~15 s)
+//	ytcdn-experiments -scale 1.0                    # full paper scale (~1 min)
+//	ytcdn-experiments -scale 0.05                   # quick pass (~15 s)
+//	ytcdn-experiments -scale 1.0 -store /tmp/yt     # flat RSS: traces spill to disk
 package main
 
 import (
@@ -30,20 +31,35 @@ func main() {
 	seed := flag.Int64("seed", 20100904, "random seed")
 	parallelism := flag.Int("parallelism", runtime.NumCPU(),
 		"analysis worker pool size (1 = sequential; output is identical either way)")
+	storeDir := flag.String("store", "",
+		"spill traces to a disk-backed columnar store in this directory (empty = in memory); output is identical either way")
+	segment := flag.Int("segment", 0,
+		"records per store segment (0 = tracestore default; only with -store)")
 	flag.Parse()
 
-	start := time.Now()
-	study, err := ytcdn.Run(ytcdn.Options{
+	opts := ytcdn.Options{
 		Scale:       *scale,
 		Span:        time.Duration(*days) * 24 * time.Hour,
 		Seed:        *seed,
 		Parallelism: *parallelism,
-	})
+	}
+	if *storeDir != "" {
+		opts.Store = &ytcdn.StoreOptions{Dir: *storeDir, SegmentRecords: *segment}
+	} else if *segment != 0 {
+		log.Fatal("-segment requires -store")
+	}
+
+	start := time.Now()
+	study, err := ytcdn.Run(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("# simulation: scale %.3f, %d days, %d flows, %v (analysis parallelism %d)\n\n",
-		*scale, *days, study.TotalFlows(), time.Since(start).Round(time.Millisecond), *parallelism)
+	where := "in memory"
+	if dir := study.StoreDir(); dir != "" {
+		where = "on disk at " + dir
+	}
+	fmt.Printf("# simulation: scale %.3f, %d days, %d flows %s, %v (analysis parallelism %d)\n\n",
+		*scale, *days, study.TotalFlows(), where, time.Since(start).Round(time.Millisecond), *parallelism)
 
 	if err := study.Experiments().RunAll(os.Stdout); err != nil {
 		log.Fatal(err)

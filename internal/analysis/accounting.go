@@ -30,6 +30,13 @@ type ASBreakdown struct {
 // four AS buckets via whois lookups. clientAS is the AS of the
 // monitored network (for the "Same AS" bucket).
 func BreakdownByAS(recs []capture.FlowRecord, reg *asdb.Registry, clientAS asdb.ASN) ASBreakdown {
+	bd, _ := BreakdownByASIter(capture.IterSlice(recs), reg, clientAS)
+	return bd
+}
+
+// BreakdownByASIter is the streaming BreakdownByAS: one pass over the
+// iterator, memory bounded by the distinct server set.
+func BreakdownByASIter(it capture.Iterator, reg *asdb.Registry, clientAS asdb.ASN) (ASBreakdown, error) {
 	type agg struct {
 		bytes   int64
 		servers map[uint32]struct{}
@@ -42,7 +49,11 @@ func BreakdownByAS(recs []capture.FlowRecord, reg *asdb.Registry, clientAS asdb.
 	}
 	var total agg
 	total.servers = map[uint32]struct{}{}
-	for _, r := range recs {
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
 		as, ok := reg.Lookup(r.Server)
 		key := "other"
 		if ok {
@@ -77,7 +88,7 @@ func BreakdownByAS(recs []capture.FlowRecord, reg *asdb.Registry, clientAS asdb.
 		Others:     share(buckets["other"]),
 		TotalSrv:   len(total.servers),
 		TotalBytes: total.bytes,
-	}
+	}, it.Err()
 }
 
 // GoogleFilter returns the subset of a trace served from the Google AS
@@ -86,8 +97,19 @@ func BreakdownByAS(recs []capture.FlowRecord, reg *asdb.Registry, clientAS asdb.
 // AS; for the EU2 dataset, we include accesses to the data center
 // located inside the corresponding ISP").
 func GoogleFilter(recs []capture.FlowRecord, reg *asdb.Registry, clientAS asdb.ASN) []capture.FlowRecord {
-	out := make([]capture.FlowRecord, 0, len(recs))
-	for _, r := range recs {
+	out, _ := GoogleFilterIter(capture.IterSlice(recs), reg, clientAS)
+	return out
+}
+
+// GoogleFilterIter is the streaming GoogleFilter: it materializes only
+// the filtered subset, so a disk-backed trace is never held in full.
+func GoogleFilterIter(it capture.Iterator, reg *asdb.Registry, clientAS asdb.ASN) ([]capture.FlowRecord, error) {
+	var out []capture.FlowRecord
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
 		as, ok := reg.Lookup(r.Server)
 		if !ok {
 			continue
@@ -96,7 +118,7 @@ func GoogleFilter(recs []capture.FlowRecord, reg *asdb.Registry, clientAS asdb.A
 			out = append(out, r)
 		}
 	}
-	return out
+	return out, it.Err()
 }
 
 // ContinentCounts is one Table III row: distinct servers per continent
@@ -165,10 +187,22 @@ type PreferredResult struct {
 // byte volumes, annotating each cluster with min RTT (from rttMs, in
 // milliseconds per server address) and distance from vpLoc.
 func FindPreferred(videoFlows []capture.FlowRecord, m *DCMap, rttMs map[ipnet.Addr]float64, vpLoc geo.Point) PreferredResult {
+	res, _ := FindPreferredIter(capture.IterSlice(videoFlows), m, rttMs, vpLoc)
+	return res
+}
+
+// FindPreferredIter is the streaming FindPreferred: the per-DC byte
+// and flow accounting consumes the iterator in one pass with memory
+// bounded by the cluster count.
+func FindPreferredIter(it capture.Iterator, m *DCMap, rttMs map[ipnet.Addr]float64, vpLoc geo.Point) (PreferredResult, error) {
 	bytes := make([]int64, m.NumClusters())
 	flows := make([]int, m.NumClusters())
 	var total int64
-	for _, r := range videoFlows {
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
 		dc, ok := m.DCOf(r.Server)
 		if !ok {
 			continue
@@ -199,7 +233,7 @@ func FindPreferred(videoFlows []capture.FlowRecord, m *DCMap, rttMs map[ipnet.Ad
 	sort.Slice(res.PerDC, func(i, j int) bool { return res.PerDC[i].Bytes > res.PerDC[j].Bytes })
 	if len(res.PerDC) == 0 {
 		res.Preferred = -1
-		return res
+		return res, it.Err()
 	}
 	// The paper's rule (§VI-B): normally the dominant data center is
 	// the preferred one; when no single DC dominates but two together
@@ -228,7 +262,7 @@ func FindPreferred(videoFlows []capture.FlowRecord, m *DCMap, rttMs map[ipnet.Ad
 			res.PreferredIsMinRTT = false
 		}
 	}
-	return res
+	return res, it.Err()
 }
 
 // CumulativeByteCurve returns (x, cumulative byte fraction) points

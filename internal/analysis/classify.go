@@ -44,20 +44,30 @@ type TraceSummary struct {
 
 // Summarize computes the Table I row of a trace.
 func Summarize(recs []capture.FlowRecord) TraceSummary {
+	s, _ := SummarizeIter(capture.IterSlice(recs))
+	return s
+}
+
+// SummarizeIter is the streaming Summarize: it consumes the iterator
+// in one pass with memory bounded by the distinct address sets, never
+// materializing the trace.
+func SummarizeIter(it capture.Iterator) (TraceSummary, error) {
 	servers := make(map[uint32]struct{})
 	clients := make(map[uint32]struct{})
-	var bytes int64
-	for _, r := range recs {
-		bytes += r.Bytes
+	var s TraceSummary
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		s.Flows++
+		s.Bytes += r.Bytes
 		servers[uint32(r.Server)] = struct{}{}
 		clients[uint32(r.Client)] = struct{}{}
 	}
-	return TraceSummary{
-		Flows:   len(recs),
-		Bytes:   bytes,
-		Servers: len(servers),
-		Clients: len(clients),
-	}
+	s.Servers = len(servers)
+	s.Clients = len(clients)
+	return s, it.Err()
 }
 
 // Span returns the time extent of a trace (start of first flow to end

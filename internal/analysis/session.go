@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -72,6 +73,102 @@ func Sessionize(recs []capture.FlowRecord, gap time.Duration) []Session {
 		return out[i].VideoID < out[j].VideoID
 	})
 	return out
+}
+
+// SessionizeIter is Sessionize over a record stream. It materializes
+// the records first (sessionization in arbitrary order needs the full
+// per-key groups), so its memory is the trace size — use it for
+// compatibility, and StreamSessions for bounded memory over
+// start-ordered input. The result is identical to Sessionize on the
+// collected records.
+func SessionizeIter(it capture.Iterator, gap time.Duration) ([]Session, error) {
+	recs, err := capture.Collect(it)
+	if err != nil {
+		return nil, err
+	}
+	return Sessionize(recs, gap), nil
+}
+
+// StreamSessions is the bounded-memory sessionizer: it consumes an
+// iterator whose records are ordered by start time (for a disk store,
+// tracestore.Reader.ScanByStart) and invokes emit for every completed
+// session. Memory is bounded by the sessions open at any instant —
+// those whose temporal window can still accept a flow — never the
+// whole trace.
+//
+// The session partition matches Sessionize: flows with the same
+// (client, VideoID) group while each flow starts within gap of the
+// furthest end seen. Sessions are emitted as they close (ordered by
+// closing time, with deterministic tie-breaks), not by session start;
+// callers needing the globally sorted slice should use SessionizeIter.
+func StreamSessions(it capture.Iterator, gap time.Duration, emit func(Session)) error {
+	open := make(map[sessionKey]*Session)
+	latest := make(map[sessionKey]time.Duration)
+	var cursor time.Duration
+	const sweepEvery = 4096
+	n := 0
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		if r.Start < cursor {
+			return fmt.Errorf("analysis: StreamSessions input not ordered by start time (%v after %v)", r.Start, cursor)
+		}
+		cursor = r.Start
+		k := sessionKey{client: r.Client, video: r.VideoID}
+		s, ok := open[k]
+		if ok && r.Start > latest[k]+gap {
+			emit(*s)
+			delete(open, k)
+			ok = false
+		}
+		if !ok {
+			open[k] = &Session{Client: r.Client, VideoID: r.VideoID, Flows: []capture.FlowRecord{r}}
+			latest[k] = r.End
+		} else {
+			s.Flows = append(s.Flows, r)
+			if r.End > latest[k] {
+				latest[k] = r.End
+			}
+		}
+		n++
+		if n%sweepEvery == 0 {
+			sweepClosed(open, latest, cursor, gap, emit)
+		}
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	// Close everything left: no future flow can arrive.
+	sweepClosed(open, latest, time.Duration(1<<63-1), 0, emit)
+	return nil
+}
+
+// sweepClosed emits (in deterministic order) every open session that
+// can no longer grow: its window end precedes the stream cursor.
+func sweepClosed(open map[sessionKey]*Session, latest map[sessionKey]time.Duration, cursor, gap time.Duration, emit func(Session)) {
+	var closed []sessionKey
+	for k, end := range latest {
+		if cursor > end+gap {
+			closed = append(closed, k)
+		}
+	}
+	sort.Slice(closed, func(i, j int) bool {
+		a, b := open[closed[i]], open[closed[j]]
+		if a.Start() != b.Start() {
+			return a.Start() < b.Start()
+		}
+		if a.Client != b.Client {
+			return a.Client < b.Client
+		}
+		return a.VideoID < b.VideoID
+	})
+	for _, k := range closed {
+		emit(*open[k])
+		delete(open, k)
+		delete(latest, k)
+	}
 }
 
 // FlowsPerSessionHistogram returns the fraction of sessions having

@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -41,6 +42,82 @@ type Sink interface {
 	Record(dataset string, rec FlowRecord)
 }
 
+// Iterator streams flow records one at a time. Next returns the next
+// record and true, or a zero record and false once the stream is
+// exhausted or fails; after Next returns false, Err reports the first
+// error encountered (nil on clean exhaustion). Iterators are not safe
+// for concurrent use.
+type Iterator interface {
+	Next() (FlowRecord, bool)
+	Err() error
+}
+
+// TraceSource exposes captured traces per dataset as streams. It is
+// the seam between trace storage (in-memory sinks, the disk-backed
+// tracestore) and the analysis side: consumers that accept a
+// TraceSource work identically over both.
+type TraceSource interface {
+	// Datasets returns the dataset names present, sorted.
+	Datasets() []string
+	// Iter returns a fresh iterator over one dataset's records. An
+	// unknown dataset yields an empty iterator.
+	Iter(dataset string) Iterator
+}
+
+// sliceIterator walks an in-memory record slice.
+type sliceIterator struct {
+	recs []FlowRecord
+	i    int
+}
+
+// IterSlice returns an Iterator over recs. The slice is not copied;
+// callers must not mutate it while iterating.
+func IterSlice(recs []FlowRecord) Iterator { return &sliceIterator{recs: recs} }
+
+func (it *sliceIterator) Next() (FlowRecord, bool) {
+	if it.i >= len(it.recs) {
+		return FlowRecord{}, false
+	}
+	r := it.recs[it.i]
+	it.i++
+	return r, true
+}
+
+func (it *sliceIterator) Err() error { return nil }
+
+// Collect drains an iterator into a slice, returning the iterator's
+// error if the stream failed.
+func Collect(it Iterator) ([]FlowRecord, error) {
+	var out []FlowRecord
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out, it.Err()
+}
+
+// MapSource adapts a per-dataset record map to the TraceSource
+// interface. The map and its slices are referenced, not copied.
+type MapSource map[string][]FlowRecord
+
+// Datasets implements TraceSource.
+func (m MapSource) Datasets() []string {
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Iter implements TraceSource.
+func (m MapSource) Iter(dataset string) Iterator { return IterSlice(m[dataset]) }
+
+var _ TraceSource = MapSource(nil)
+
 // MemSink accumulates records per dataset in memory. It is safe for
 // concurrent use, so it survives being tee'd from studies running in
 // parallel.
@@ -61,16 +138,35 @@ func (m *MemSink) Record(dataset string, rec FlowRecord) {
 	m.mu.Unlock()
 }
 
-// Trace returns the records captured for a dataset, in emission order.
-// The returned slice is shared with the sink; do not call Trace while
-// records are still being emitted.
+// Trace returns a copy of the records captured for a dataset, in
+// emission order. The copy is the caller's to keep: mutating it cannot
+// corrupt the sink, and later Record calls do not grow it. A dataset
+// never recorded returns nil. Use View to avoid the copy on hot paths.
 func (m *MemSink) Trace(dataset string) []FlowRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	recs := m.byDataset[dataset]
+	if recs == nil {
+		return nil
+	}
+	out := make([]FlowRecord, len(recs))
+	copy(out, recs)
+	return out
+}
+
+// View returns the live backing slice for a dataset, in emission
+// order. It is a read-only view: callers must not modify it, and must
+// not call View while records are still being emitted (a concurrent
+// Record may reallocate the slice). Analysis hot paths use View to
+// avoid duplicating multi-million-record traces; everyone else should
+// prefer Trace.
+func (m *MemSink) View(dataset string) []FlowRecord {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.byDataset[dataset]
 }
 
-// Datasets returns the dataset names seen so far.
+// Datasets returns the dataset names seen so far, sorted.
 func (m *MemSink) Datasets() []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -78,8 +174,16 @@ func (m *MemSink) Datasets() []string {
 	for name := range m.byDataset {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
+
+// Iter returns an iterator over a dataset's records in emission order.
+// Like View, it reads the live backing slice: do not iterate while
+// records are still being emitted.
+func (m *MemSink) Iter(dataset string) Iterator { return IterSlice(m.View(dataset)) }
+
+var _ TraceSource = (*MemSink)(nil)
 
 // TotalRecords returns the record count across datasets.
 func (m *MemSink) TotalRecords() int {

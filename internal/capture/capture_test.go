@@ -77,6 +77,80 @@ func TestMemSinkConcurrentRecord(t *testing.T) {
 	}
 }
 
+// TestMemSinkTraceReturnsCopy pins the Trace contract: mutating the
+// returned slice must not corrupt the sink, and View must keep
+// exposing the original records.
+func TestMemSinkTraceReturnsCopy(t *testing.T) {
+	m := NewMemSink()
+	m.Record("ds", sampleRecord())
+	got := m.Trace("ds")
+	got[0].Bytes = -1
+	got[0].VideoID = "corrupted"
+	if again := m.Trace("ds"); again[0] != sampleRecord() {
+		t.Errorf("sink corrupted through Trace copy: %+v", again[0])
+	}
+	if view := m.View("ds"); view[0] != sampleRecord() {
+		t.Errorf("sink corrupted through View: %+v", view[0])
+	}
+}
+
+func TestMemSinkDatasetsSorted(t *testing.T) {
+	m := NewMemSink()
+	for _, ds := range []string{"zz", "aa", "mm"} {
+		m.Record(ds, sampleRecord())
+	}
+	got := m.Datasets()
+	want := []string{"aa", "mm", "zz"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Datasets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIterSliceAndCollect(t *testing.T) {
+	recs := []FlowRecord{sampleRecord(), sampleRecord()}
+	recs[1].Bytes = 42
+	got, err := Collect(IterSlice(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != recs[0] || got[1] != recs[1] {
+		t.Errorf("Collect = %+v", got)
+	}
+	it := IterSlice(nil)
+	if _, ok := it.Next(); ok {
+		t.Error("empty iterator must be exhausted")
+	}
+	if it.Err() != nil {
+		t.Errorf("Err = %v", it.Err())
+	}
+}
+
+func TestMapSource(t *testing.T) {
+	src := MapSource{"b": {sampleRecord()}, "a": {sampleRecord(), sampleRecord()}}
+	names := src.Datasets()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Datasets = %v", names)
+	}
+	recs, err := Collect(src.Iter("a"))
+	if err != nil || len(recs) != 2 {
+		t.Errorf("Iter(a): %d records, err %v", len(recs), err)
+	}
+	if recs, _ := Collect(src.Iter("missing")); recs != nil {
+		t.Errorf("missing dataset iterated %d records", len(recs))
+	}
+}
+
+func TestMemSinkIter(t *testing.T) {
+	m := NewMemSink()
+	m.Record("ds", sampleRecord())
+	recs, err := Collect(m.Iter("ds"))
+	if err != nil || len(recs) != 1 || recs[0] != sampleRecord() {
+		t.Errorf("Iter: %+v, err %v", recs, err)
+	}
+}
+
 func TestWriterSinkRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	ws := NewWriterSink(&buf)

@@ -1,0 +1,88 @@
+package capture
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
+)
+
+// FuzzTraceLineRoundTrip drives the text-trace serialization both
+// ways: serialize an arbitrary record through WriterSink, parse the
+// line back with ParseLine, and require the parsed record to equal the
+// original. The TSV format's documented preconditions are enforced by
+// skipping inputs it cannot represent: tab/newline bytes inside string
+// fields (they are field and record separators) and timestamps outside
+// microsecond precision or the representable microsecond range.
+func FuzzTraceLineRoundTrip(f *testing.F) {
+	f.Add("US-Campus", uint32(0x80D20102), uint32(0xADC20509), int64(1_500_000), int64(61_500_000), int64(5_000_000), "dQw4w9WgXcQ", "360p")
+	f.Add("EU2", uint32(0), uint32(0xFFFFFFFF), int64(0), int64(0), int64(0), "", "")
+	f.Add("x", uint32(1), uint32(2), int64(-5), int64(7), int64(-9), "v", "1080p")
+	f.Fuzz(func(t *testing.T, dataset string, client, server uint32, startUs, endUs, bytes int64, videoID, resolution string) {
+		for _, s := range []string{dataset, videoID, resolution} {
+			if strings.ContainsAny(s, "\t\n\r") {
+				t.Skip("TSV cannot represent separators inside fields")
+			}
+		}
+		// Stay where Duration(us)*Microsecond cannot overflow int64.
+		const maxUs = int64(1) << 52
+		if startUs > maxUs || startUs < -maxUs || endUs > maxUs || endUs < -maxUs {
+			t.Skip("outside representable microsecond range")
+		}
+		rec := FlowRecord{
+			Client:     ipnet.Addr(client),
+			Server:     ipnet.Addr(server),
+			Start:      time.Duration(startUs) * time.Microsecond,
+			End:        time.Duration(endUs) * time.Microsecond,
+			Bytes:      bytes,
+			VideoID:    videoID,
+			Resolution: resolution,
+		}
+		var buf strings.Builder
+		ws := NewWriterSink(&buf)
+		ws.Record(dataset, rec)
+		if err := ws.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		line := strings.TrimRight(buf.String(), "\n")
+		gotDS, got, err := ParseLine(line)
+		if err != nil {
+			t.Fatalf("ParseLine(%q): %v", line, err)
+		}
+		if gotDS != dataset {
+			t.Errorf("dataset %q round-tripped to %q", dataset, gotDS)
+		}
+		if got != rec {
+			t.Errorf("record round trip:\n got %+v\nwant %+v", got, rec)
+		}
+	})
+}
+
+// FuzzParseLine hammers the parser with arbitrary bytes: it must never
+// panic, and every line it accepts must re-serialize to an equivalent
+// record (parse → write → parse is a fixed point).
+func FuzzParseLine(f *testing.F) {
+	f.Add("ds\t1.1.1.1\t2.2.2.2\t0\t1\t2\tv\t360p")
+	f.Add("garbage")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		ds, rec, err := ParseLine(line)
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		ws := NewWriterSink(&buf)
+		ws.Record(ds, rec)
+		if err := ws.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		ds2, rec2, err := ParseLine(strings.TrimRight(buf.String(), "\n"))
+		if err != nil {
+			t.Fatalf("re-parse of accepted line failed: %v", err)
+		}
+		if ds2 != ds || rec2 != rec {
+			t.Errorf("parse/write/parse not a fixed point:\n got (%q, %+v)\nwant (%q, %+v)", ds2, rec2, ds, rec)
+		}
+	})
+}

@@ -106,17 +106,26 @@ type Fig04Result struct {
 	ControlFrac map[string]float64
 }
 
-// Fig04FlowSizes computes flow-size distributions.
+// Fig04FlowSizes computes flow-size distributions, building each CDF
+// from a single streaming pass over the trace.
 func (h *Harness) Fig04FlowSizes() (*Fig04Result, error) {
 	res := &Fig04Result{Sizes: make(map[string]*stats.CDF), ControlFrac: make(map[string]float64)}
 	for _, name := range h.DatasetNames() {
 		cdf := &stats.CDF{}
 		small := 0
-		for _, r := range h.in.Traces[name] {
+		it := h.iter(name)
+		for {
+			r, ok := it.Next()
+			if !ok {
+				break
+			}
 			cdf.Add(float64(r.Bytes))
 			if r.Bytes < analysis.VideoFlowThreshold {
 				small++
 			}
+		}
+		if err := it.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: scanning %s: %w", name, err)
 		}
 		res.Sizes[name] = cdf
 		if cdf.Len() > 0 {

@@ -39,9 +39,19 @@ type Input struct {
 	World     *topology.World
 	Catalog   *content.Catalog
 	Placement *core.Placement
-	Traces    map[string][]capture.FlowRecord
-	Span      time.Duration
-	Seed      int64
+	// Traces holds in-memory per-dataset records. Ignored when Source
+	// is set.
+	Traces map[string][]capture.FlowRecord
+	// Source, when non-nil, supplies the traces as streams instead of
+	// slices — e.g. a tracestore.Reader over a disk-backed study. The
+	// harness consumes whole-trace passes (Tables I-II, Fig 4, the
+	// server census) through one-segment-at-a-time iterators, and
+	// materializes only the Google-AS subset per dataset, so
+	// paper-scale studies analyze in bounded memory. Results are
+	// bit-identical to the equivalent Traces map.
+	Source capture.TraceSource
+	Span   time.Duration
+	Seed   int64
 	// Parallelism bounds the worker pool used for the parallel stages.
 	// 1 runs strictly sequentially; values < 1 mean "one worker per
 	// core". The computed results are identical either way.
@@ -51,11 +61,13 @@ type Input struct {
 // Harness runs experiments over one study. Safe for concurrent use.
 type Harness struct {
 	in     Input
+	src    capture.TraceSource
 	par    int
 	prober *probe.Prober
 
 	// Lazily computed shared state, each guarded by its own once.
 	serversOnce sync.Once
+	serversErr  error
 	allServers  []ipnet.Addr
 
 	geoOnce   sync.Once
@@ -85,10 +97,11 @@ func (c *cell[T]) do(compute func() (T, error)) (T, error) {
 	return c.val, c.err
 }
 
-// dataset caches per-trace analysis artifacts.
+// dataset caches per-trace analysis artifacts. The raw trace itself is
+// never retained — only the §IV Google-AS subset and its derivatives —
+// so a disk-backed study keeps the full capture on disk.
 type dataset struct {
 	vp       *topology.VantagePoint
-	raw      []capture.FlowRecord
 	google   []capture.FlowRecord // §IV filter applied
 	video    []capture.FlowRecord
 	control  []capture.FlowRecord
@@ -102,8 +115,13 @@ type dataset struct {
 // claims fresh videos through this harness's counter, so two
 // harnesses over one Input would interfere.
 func New(in Input) *Harness {
+	src := in.Source
+	if src == nil {
+		src = capture.MapSource(in.Traces)
+	}
 	return &Harness{
 		in:        in,
+		src:       src,
 		par:       par.Normalize(in.Parallelism),
 		prober:    probe.New(in.World, stats.NewRNG(in.Seed).Fork("probe")),
 		campaigns: make(map[string]*cell[map[ipnet.Addr]float64]),
@@ -117,14 +135,26 @@ func (h *Harness) Input() Input { return h.in }
 // Parallelism returns the effective worker-pool bound.
 func (h *Harness) Parallelism() int { return h.par }
 
+// iter opens a fresh stream over one dataset's records.
+func (h *Harness) iter(name string) capture.Iterator { return h.src.Iter(name) }
+
 // servers returns the sorted union of distinct server addresses across
-// all traces.
-func (h *Harness) servers() []ipnet.Addr {
+// all traces, streaming each trace once.
+func (h *Harness) servers() ([]ipnet.Addr, error) {
 	h.serversOnce.Do(func() {
 		seen := make(map[ipnet.Addr]struct{})
-		for _, recs := range h.in.Traces {
-			for _, r := range recs {
+		for _, name := range h.src.Datasets() {
+			it := h.iter(name)
+			for {
+				r, ok := it.Next()
+				if !ok {
+					break
+				}
 				seen[r.Server] = struct{}{}
+			}
+			if err := it.Err(); err != nil {
+				h.serversErr = fmt.Errorf("experiments: scanning %s: %w", name, err)
+				return
 			}
 		}
 		out := make([]ipnet.Addr, 0, len(seen))
@@ -134,7 +164,7 @@ func (h *Harness) servers() []ipnet.Addr {
 		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		h.allServers = out
 	})
-	return h.allServers
+	return h.allServers, h.serversErr
 }
 
 // campaignCell returns the once-cell for a vantage point's campaign.
@@ -150,25 +180,40 @@ func (h *Harness) campaignCell(vpName string) *cell[map[ipnet.Addr]float64] {
 }
 
 // campaign returns (caching) the per-server min-RTT ping results from
-// one vantage point, in milliseconds.
+// one vantage point, in milliseconds. The per-target probes fan out
+// across the worker pool; per-pair RNG forking keeps the results
+// bit-identical at any pool size.
 func (h *Harness) campaign(vpName string) (map[ipnet.Addr]float64, error) {
 	return h.campaignCell(vpName).do(func() (map[ipnet.Addr]float64, error) {
-		return h.prober.CampaignFromVP(vpName, h.datasetServers(vpName), 10)
+		targets, err := h.datasetServers(vpName)
+		if err != nil {
+			return nil, err
+		}
+		return h.prober.CampaignFromVPParallel(vpName, targets, 10, h.par)
 	})
 }
 
-// datasetServers returns the sorted distinct servers of one trace.
-func (h *Harness) datasetServers(vpName string) []ipnet.Addr {
+// datasetServers returns the sorted distinct servers of one trace,
+// streaming it once.
+func (h *Harness) datasetServers(vpName string) ([]ipnet.Addr, error) {
 	seen := make(map[ipnet.Addr]struct{})
-	for _, r := range h.in.Traces[vpName] {
+	it := h.iter(vpName)
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
 		seen[r.Server] = struct{}{}
+	}
+	if err := it.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: scanning %s: %w", vpName, err)
 	}
 	out := make([]ipnet.Addr, 0, len(seen))
 	for a := range seen {
 		out = append(out, a)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out, nil
 }
 
 // Geolocate runs the full CBG pipeline once: calibrate bestlines on
@@ -189,7 +234,11 @@ func (h *Harness) Geolocate() (map[ipnet.Addr]geoloc.Region, error) {
 		}
 		h.cbg = cbg
 
-		servers := h.servers()
+		servers, err := h.servers()
+		if err != nil {
+			h.geoErr = err
+			return
+		}
 		located := make([]bool, len(servers))
 		results := make([]geoloc.Region, len(servers))
 		par.ForEach(len(servers), h.par, func(i int) {
@@ -247,15 +296,17 @@ func (h *Harness) buildDataset(name string) (*dataset, error) {
 		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
 	}
 	vp := h.in.World.VantagePoints[idx]
-	raw, ok := h.in.Traces[name]
-	if !ok {
+	if !h.hasDataset(name) {
 		return nil, fmt.Errorf("experiments: no trace for %q", name)
 	}
 	locs, err := h.Locations()
 	if err != nil {
 		return nil, err
 	}
-	google := analysis.GoogleFilter(raw, h.in.World.Registry, vp.AS.Number)
+	google, err := analysis.GoogleFilterIter(h.iter(name), h.in.World.Registry, vp.AS.Number)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scanning %s: %w", name, err)
+	}
 	video, control := analysis.SplitFlows(google)
 
 	// Cluster only this dataset's Google servers (the paper clusters
@@ -277,7 +328,6 @@ func (h *Harness) buildDataset(name string) (*dataset, error) {
 
 	return &dataset{
 		vp:       vp,
-		raw:      raw,
 		google:   google,
 		video:    video,
 		control:  control,
@@ -308,9 +358,19 @@ func (h *Harness) Warm() error {
 func (h *Harness) DatasetNames() []string {
 	var out []string
 	for _, name := range topology.DatasetNames() {
-		if _, ok := h.in.Traces[name]; ok {
+		if h.hasDataset(name) {
 			out = append(out, name)
 		}
 	}
 	return out
+}
+
+// hasDataset reports whether the source carries a trace for name.
+func (h *Harness) hasDataset(name string) bool {
+	for _, n := range h.src.Datasets() {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }

@@ -21,11 +21,15 @@ type TableIResult struct {
 	Rows []TableIRow
 }
 
-// TableI computes the traffic summary of every dataset.
+// TableI computes the traffic summary of every dataset, streaming
+// each trace once.
 func (h *Harness) TableI() (*TableIResult, error) {
 	res := &TableIResult{}
 	for _, name := range h.DatasetNames() {
-		s := analysis.Summarize(h.in.Traces[name])
+		s, err := analysis.SummarizeIter(h.iter(name))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scanning %s: %w", name, err)
+		}
 		res.Rows = append(res.Rows, TableIRow{
 			Dataset: name,
 			Flows:   s.Flows,
@@ -60,13 +64,16 @@ type TableIIResult struct {
 }
 
 // TableII computes the whois-based AS attribution of servers and
-// bytes.
+// bytes, streaming each trace once.
 func (h *Harness) TableII() (*TableIIResult, error) {
 	res := &TableIIResult{}
 	for _, name := range h.DatasetNames() {
 		idx := h.in.World.VPIndex(name)
 		vp := h.in.World.VantagePoints[idx]
-		bd := analysis.BreakdownByAS(h.in.Traces[name], h.in.World.Registry, vp.AS.Number)
+		bd, err := analysis.BreakdownByASIter(h.iter(name), h.in.World.Registry, vp.AS.Number)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scanning %s: %w", name, err)
+		}
 		res.Rows = append(res.Rows, TableIIRow{Dataset: name, Breakdown: bd})
 	}
 	return res, nil

@@ -77,22 +77,41 @@ func (p *Prober) MinRTTFromVP(vpName string, target ipnet.Addr, n int) (time.Dur
 
 // CampaignFromVP measures every target from a vantage point and
 // returns per-address minimum RTTs in milliseconds (the Fig 2 / Fig 7
-// campaigns).
+// campaigns). It probes sequentially; CampaignFromVPParallel fans the
+// same measurements out over a worker pool.
 func (p *Prober) CampaignFromVP(vpName string, targets []ipnet.Addr, n int) (map[ipnet.Addr]float64, error) {
+	return p.CampaignFromVPParallel(vpName, targets, n, 1)
+}
+
+// CampaignFromVPParallel measures every target from a vantage point,
+// fanning the per-target probes out across a worker pool of the given
+// size (values < 1 mean one worker per core). Each measurement draws
+// noise from a stream forked by (vantage point, target), so the
+// campaign is order-independent: the result map is identical at every
+// pool size, including the sequential CampaignFromVP.
+func (p *Prober) CampaignFromVPParallel(vpName string, targets []ipnet.Addr, n, parallelism int) (map[ipnet.Addr]float64, error) {
 	idx := p.w.VPIndex(vpName)
 	if idx < 0 {
 		return nil, fmt.Errorf("probe: unknown vantage point %q", vpName)
 	}
 	from := p.w.VantagePoints[idx].Endpoint()
-	out := make(map[ipnet.Addr]float64, len(targets))
-	for _, t := range targets {
-		rtt, err := p.MinRTT(from, t, n)
+	rtts := make([]time.Duration, len(targets))
+	answered := make([]bool, len(targets))
+	par.ForEach(len(targets), par.Normalize(parallelism), func(i int) {
+		rtt, err := p.MinRTT(from, targets[i], n)
 		if err != nil {
 			// Unroutable targets simply drop out of the campaign, as
 			// unreachable hosts do in real ping sweeps.
-			continue
+			return
 		}
-		out[t] = rtt.Seconds() * 1000
+		rtts[i] = rtt
+		answered[i] = true
+	})
+	out := make(map[ipnet.Addr]float64, len(targets))
+	for i, t := range targets {
+		if answered[i] {
+			out[t] = rtts[i].Seconds() * 1000
+		}
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("probe: no target of %d answered from %s", len(targets), vpName)

@@ -87,6 +87,40 @@ func TestCampaignSkipsUnroutable(t *testing.T) {
 	}
 }
 
+// TestCampaignParallelMatchesSequential pins the order-independence
+// contract: a campaign fanned out over a pool is bit-identical to the
+// sequential one, because every pair draws noise from its own forked
+// stream.
+func TestCampaignParallelMatchesSequential(t *testing.T) {
+	w := testWorld(t)
+	p := New(w, stats.NewRNG(11))
+	var targets []ipnet.Addr
+	for _, srv := range w.Servers {
+		targets = append(targets, srv.Addr)
+		if len(targets) == 40 {
+			break
+		}
+	}
+	seq, err := p.CampaignFromVP(topology.DatasetUSCampus, targets, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pool := range []int{2, 8, 0} {
+		got, err := p.CampaignFromVPParallel(topology.DatasetUSCampus, targets, 5, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(seq) {
+			t.Fatalf("pool %d: %d answers, want %d", pool, len(got), len(seq))
+		}
+		for addr, ms := range seq {
+			if got[addr] != ms {
+				t.Errorf("pool %d: %s = %v, want %v", pool, addr, got[addr], ms)
+			}
+		}
+	}
+}
+
 func TestCrossRTTMatrixSymmetric(t *testing.T) {
 	w := testWorld(t)
 	p := New(w, stats.NewRNG(4))

@@ -1,0 +1,185 @@
+package tracestore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// benchStore writes n synthetic records into a fresh store and returns
+// the directory plus the on-disk byte size.
+func benchStore(tb testing.TB, n, segRecords int) (string, int64) {
+	tb.Helper()
+	dir := tb.TempDir()
+	w, err := NewWriter(dir, Options{SegmentRecords: segRecords})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, r := range genRecords(42, n) {
+		w.Record("bench", r)
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return dir, storeBytes(tb, dir)
+}
+
+// storeBytes sums the shard file sizes of a store.
+func storeBytes(tb testing.TB, dir string) int64 {
+	tb.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+shardSuffix))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var total int64
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}
+
+func BenchmarkWrite(b *testing.B) {
+	recs := genRecords(42, 100_000)
+	b.ResetTimer()
+	var disk int64
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		w, err := NewWriter(dir, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range recs {
+			w.Record("bench", r)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		disk = storeBytes(b, dir)
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(disk)/float64(len(recs)), "disk_bytes/record")
+	b.SetBytes(disk)
+}
+
+func BenchmarkScan(b *testing.B) {
+	dir, disk := benchStore(b, 100_000, DefaultSegmentRecords)
+	r, err := OpenReader(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(disk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := r.Iter("bench")
+		n := 0
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if it.Err() != nil || n != 100_000 {
+			b.Fatalf("scan: %d records, err %v", n, it.Err())
+		}
+	}
+	b.ReportMetric(float64(r.PeakBufferedBytes()), "peak_buffered_bytes")
+}
+
+func BenchmarkScanByStart(b *testing.B) {
+	dir, disk := benchStore(b, 100_000, DefaultSegmentRecords)
+	r, err := OpenReader(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(disk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := r.ScanByStart("bench")
+		n := 0
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if it.Err() != nil || n != 100_000 {
+			b.Fatalf("scan: %d records, err %v", n, it.Err())
+		}
+	}
+	b.ReportMetric(float64(r.PeakBufferedBytes()), "peak_buffered_bytes")
+}
+
+// TestBenchArtifact emits BENCH_tracestore.json for the CI benchmark
+// smoke step when BENCH_TRACESTORE_JSON names the output path. It
+// measures write and scan throughput plus the storage density and the
+// bounded-memory gauge over a one-million-record store.
+func TestBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_TRACESTORE_JSON")
+	if out == "" {
+		t.Skip("set BENCH_TRACESTORE_JSON to emit the benchmark artifact")
+	}
+	const n = 1_000_000
+	const segRecords = 1 << 14
+	recs := genRecords(42, n)
+
+	dir := t.TempDir()
+	wStart := time.Now()
+	w, err := NewWriter(dir, Options{SegmentRecords: segRecords})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		w.Record("bench", r)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	writeSecs := time.Since(wStart).Seconds()
+	disk := storeBytes(t, dir)
+
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sStart := time.Now()
+	it := r.Iter("bench")
+	scanned := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		scanned++
+	}
+	if it.Err() != nil || scanned != n {
+		t.Fatalf("scan: %d records, err %v", scanned, it.Err())
+	}
+	scanSecs := time.Since(sStart).Seconds()
+
+	artifact := map[string]any{
+		"records":             n,
+		"segment_records":     segRecords,
+		"disk_bytes":          disk,
+		"bytes_per_record":    float64(disk) / float64(n),
+		"write_mb_per_s":      float64(disk) / 1e6 / writeSecs,
+		"scan_mb_per_s":       float64(disk) / 1e6 / scanSecs,
+		"write_records_per_s": float64(n) / writeSecs,
+		"scan_records_per_s":  float64(n) / scanSecs,
+		"peak_buffered_bytes": r.PeakBufferedBytes(),
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %s\n", out, data)
+}

@@ -1,0 +1,309 @@
+package tracestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/capture"
+	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
+)
+
+// segHeaderSize is the fixed on-disk segment header:
+// magic u32 | count u32 | payloadLen u32 | crc u32 | minStart i64 | maxStart i64.
+const segHeaderSize = 32
+
+// segHeader describes one segment without its payload.
+type segHeader struct {
+	count      uint32
+	payloadLen uint32
+	crc        uint32
+	minStart   time.Duration
+	maxStart   time.Duration
+}
+
+// marshal renders the header in little-endian layout.
+func (h segHeader) marshal() []byte {
+	buf := make([]byte, segHeaderSize)
+	binary.LittleEndian.PutUint32(buf[0:], segMagic)
+	binary.LittleEndian.PutUint32(buf[4:], h.count)
+	binary.LittleEndian.PutUint32(buf[8:], h.payloadLen)
+	binary.LittleEndian.PutUint32(buf[12:], h.crc)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(h.minStart))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(h.maxStart))
+	return buf
+}
+
+// parseSegHeader validates the magic and unpacks the header fields.
+func parseSegHeader(buf []byte) (segHeader, error) {
+	if len(buf) < segHeaderSize {
+		return segHeader{}, fmt.Errorf("tracestore: segment header short (%d bytes)", len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != segMagic {
+		return segHeader{}, fmt.Errorf("tracestore: bad segment magic")
+	}
+	return segHeader{
+		count:      binary.LittleEndian.Uint32(buf[4:]),
+		payloadLen: binary.LittleEndian.Uint32(buf[8:]),
+		crc:        binary.LittleEndian.Uint32(buf[12:]),
+		minStart:   time.Duration(binary.LittleEndian.Uint64(buf[16:])),
+		maxStart:   time.Duration(binary.LittleEndian.Uint64(buf[24:])),
+	}, nil
+}
+
+// dict assigns dense ids to values in first-appearance order, so the
+// encoded stream is deterministic for a given record sequence.
+type dict[K comparable] struct {
+	ids    map[K]int
+	values []K
+}
+
+func (d *dict[K]) id(v K) int {
+	if d.ids == nil {
+		d.ids = make(map[K]int)
+	}
+	if id, ok := d.ids[v]; ok {
+		return id
+	}
+	id := len(d.values)
+	d.ids[v] = id
+	d.values = append(d.values, v)
+	return id
+}
+
+// encodeSegment sorts recs by start time (stable, preserving emission
+// order among equal starts) and encodes them column by column. It
+// returns the ready-to-append header bytes and payload. recs must be
+// non-empty; the slice is reordered in place.
+func encodeSegment(recs []capture.FlowRecord) (header, payload []byte) {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
+
+	var buf []byte
+	// Column 1: start times — zigzag first value, plain deltas after.
+	buf = binary.AppendVarint(buf, int64(recs[0].Start))
+	for i := 1; i < len(recs); i++ {
+		buf = binary.AppendUvarint(buf, uint64(recs[i].Start-recs[i-1].Start))
+	}
+	// Column 2: durations (End - Start), zigzag (defensively signed).
+	for _, r := range recs {
+		buf = binary.AppendVarint(buf, int64(r.End-r.Start))
+	}
+	// Column 3: byte counts, zigzag.
+	for _, r := range recs {
+		buf = binary.AppendVarint(buf, r.Bytes)
+	}
+	// Column 4: client addresses, raw uvarints.
+	for _, r := range recs {
+		buf = binary.AppendUvarint(buf, uint64(r.Client))
+	}
+	// Column 5: server addresses, dictionary-encoded.
+	var servers dict[ipnet.Addr]
+	ids := make([]int, len(recs))
+	for i, r := range recs {
+		ids[i] = servers.id(r.Server)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(servers.values)))
+	for _, a := range servers.values {
+		buf = binary.AppendUvarint(buf, uint64(a))
+	}
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+	// Columns 6-7: VideoID and Resolution, dictionary-encoded strings.
+	for _, col := range []func(capture.FlowRecord) string{
+		func(r capture.FlowRecord) string { return r.VideoID },
+		func(r capture.FlowRecord) string { return r.Resolution },
+	} {
+		var d dict[string]
+		for i, r := range recs {
+			ids[i] = d.id(col(r))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(d.values)))
+		for _, s := range d.values {
+			buf = binary.AppendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		}
+		for _, id := range ids {
+			buf = binary.AppendUvarint(buf, uint64(id))
+		}
+	}
+
+	h := segHeader{
+		count:      uint32(len(recs)),
+		payloadLen: uint32(len(buf)),
+		crc:        crc32.ChecksumIEEE(buf),
+		minStart:   recs[0].Start,
+		maxStart:   recs[len(recs)-1].Start,
+	}
+	return h.marshal(), buf
+}
+
+// payloadReader walks an encoded payload.
+type payloadReader struct {
+	buf []byte
+	pos int
+}
+
+func (p *payloadReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.buf[p.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("tracestore: malformed uvarint at offset %d", p.pos)
+	}
+	p.pos += n
+	return v, nil
+}
+
+func (p *payloadReader) varint() (int64, error) {
+	v, n := binary.Varint(p.buf[p.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("tracestore: malformed varint at offset %d", p.pos)
+	}
+	p.pos += n
+	return v, nil
+}
+
+func (p *payloadReader) stringDict() ([]string, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(p.buf)-p.pos) {
+		return nil, fmt.Errorf("tracestore: dictionary of %d entries exceeds payload", n)
+	}
+	out := make([]string, n)
+	for i := range out {
+		l, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if l > uint64(len(p.buf)-p.pos) {
+			return nil, fmt.Errorf("tracestore: dictionary string of %d bytes exceeds payload", l)
+		}
+		out[i] = string(p.buf[p.pos : p.pos+int(l)])
+		p.pos += int(l)
+	}
+	return out, nil
+}
+
+// decodeSegment reconstructs the records of one segment. Records come
+// back in stored (start-sorted) order; dictionary strings are shared
+// across the records of the segment.
+func decodeSegment(payload []byte, count int) ([]capture.FlowRecord, error) {
+	// The header is not covered by the payload CRC, so validate the
+	// count before allocating: every record contributes at least one
+	// byte to the start-delta column alone, so a count exceeding the
+	// payload length is provably a corrupted header — reject it
+	// instead of attempting a giant allocation.
+	if count < 0 || count > len(payload) {
+		return nil, fmt.Errorf("tracestore: segment count %d impossible for %d payload bytes", count, len(payload))
+	}
+	recs := make([]capture.FlowRecord, count)
+	if count == 0 {
+		return recs, nil
+	}
+	p := &payloadReader{buf: payload}
+
+	first, err := p.varint()
+	if err != nil {
+		return nil, err
+	}
+	recs[0].Start = time.Duration(first)
+	for i := 1; i < count; i++ {
+		d, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		recs[i].Start = recs[i-1].Start + time.Duration(d)
+	}
+	for i := range recs {
+		d, err := p.varint()
+		if err != nil {
+			return nil, err
+		}
+		recs[i].End = recs[i].Start + time.Duration(d)
+	}
+	for i := range recs {
+		b, err := p.varint()
+		if err != nil {
+			return nil, err
+		}
+		recs[i].Bytes = b
+	}
+	for i := range recs {
+		c, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		recs[i].Client = ipnet.Addr(c)
+	}
+	nsrv, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nsrv > uint64(len(payload)) {
+		return nil, fmt.Errorf("tracestore: server dictionary of %d entries exceeds payload", nsrv)
+	}
+	srvDict := make([]ipnet.Addr, nsrv)
+	for i := range srvDict {
+		a, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		srvDict[i] = ipnet.Addr(a)
+	}
+	for i := range recs {
+		id, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if id >= nsrv {
+			return nil, fmt.Errorf("tracestore: server dictionary index %d out of range", id)
+		}
+		recs[i].Server = srvDict[id]
+	}
+	for _, assign := range []func(i int, s string){
+		func(i int, s string) { recs[i].VideoID = s },
+		func(i int, s string) { recs[i].Resolution = s },
+	} {
+		d, err := p.stringDict()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < count; i++ {
+			id, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if id >= uint64(len(d)) {
+				return nil, fmt.Errorf("tracestore: string dictionary index %d out of range", id)
+			}
+			assign(i, d[id])
+		}
+	}
+	if p.pos != len(payload) {
+		return nil, fmt.Errorf("tracestore: %d trailing payload bytes", len(payload)-p.pos)
+	}
+	return recs, nil
+}
+
+// decodedFootprint estimates the in-memory size of a decoded segment,
+// for the reader's buffering gauge: the record array plus the
+// dictionary string bytes (shared across records).
+func decodedFootprint(recs []capture.FlowRecord) int64 {
+	n := int64(len(recs)) * int64(flowRecordSize)
+	seen := make(map[string]struct{})
+	for i := range recs {
+		for _, s := range []string{recs[i].VideoID, recs[i].Resolution} {
+			if _, ok := seen[s]; !ok {
+				seen[s] = struct{}{}
+				n += int64(len(s))
+			}
+		}
+	}
+	return n
+}
+
+// flowRecordSize is the struct size used by the buffering gauge.
+const flowRecordSize = 64

@@ -1,0 +1,227 @@
+package tracestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"github.com/ytcdn-sim/ytcdn/internal/capture"
+)
+
+// Writer is a capture.Sink that spills flow records to a disk store.
+// It keeps one shard per dataset, each with its own buffer, mutex and
+// file, so concurrent datasets (the five monitored networks) record
+// without contending on a shared lock. Write errors are sticky per
+// shard and surfaced by Close.
+type Writer struct {
+	dir        string
+	segRecords int
+
+	mu     sync.RWMutex // guards the shards map, not the shards
+	shards map[string]*wshard
+	closed bool
+}
+
+// wshard is one dataset's write state.
+type wshard struct {
+	mu      sync.Mutex
+	f       *os.File
+	buf     []capture.FlowRecord
+	records int64
+	err     error
+}
+
+// NewWriter creates (or truncates into) a store directory and returns
+// a writer over it. The directory is created if missing; existing
+// shard files in it are removed, so a writer always produces a
+// self-consistent store.
+func NewWriter(dir string, opts Options) (*Writer, error) {
+	if opts.SegmentRecords == 0 {
+		opts.SegmentRecords = DefaultSegmentRecords
+	}
+	if opts.SegmentRecords < 1 {
+		return nil, fmt.Errorf("tracestore: SegmentRecords %d < 1", opts.SegmentRecords)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	stale, err := filepath.Glob(filepath.Join(dir, "*"+shardSuffix))
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	for _, path := range stale {
+		if err := os.Remove(path); err != nil {
+			return nil, fmt.Errorf("tracestore: removing stale shard: %w", err)
+		}
+	}
+	return &Writer{
+		dir:        dir,
+		segRecords: opts.SegmentRecords,
+		shards:     make(map[string]*wshard),
+	}, nil
+}
+
+// Dir returns the store directory.
+func (w *Writer) Dir() string { return w.dir }
+
+// SegmentRecords returns the per-shard spill threshold.
+func (w *Writer) SegmentRecords() int { return w.segRecords }
+
+// shard returns (creating on first use) the dataset's shard.
+func (w *Writer) shard(dataset string) (*wshard, error) {
+	w.mu.RLock()
+	s, ok := w.shards[dataset]
+	closed := w.closed
+	w.mu.RUnlock()
+	if ok {
+		return s, nil
+	}
+	if closed {
+		return nil, fmt.Errorf("tracestore: Record after Close")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if s, ok := w.shards[dataset]; ok {
+		return s, nil
+	}
+	f, err := os.Create(filepath.Join(w.dir, shardFileName(dataset)))
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	// Shard header: magic, then the authentic dataset name.
+	hdr := append([]byte(shardMagic), appendUvarintLen(dataset)...)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tracestore: shard header: %w", err)
+	}
+	s = &wshard{f: f, buf: make([]capture.FlowRecord, 0, w.segRecords)}
+	w.shards[dataset] = s
+	return s, nil
+}
+
+// Record implements capture.Sink. A shard whose file has failed drops
+// further records and reports the first error at Close.
+func (w *Writer) Record(dataset string, rec capture.FlowRecord) {
+	s, err := w.shard(dataset)
+	if err != nil {
+		// The map-level failure (e.g. Create) is rare and unreportable
+		// through the Sink interface; remember it for Close.
+		w.mu.Lock()
+		if w.shards[dataset] == nil {
+			w.shards[dataset] = &wshard{err: err}
+		}
+		w.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.buf = append(s.buf, rec)
+	s.records++
+	if len(s.buf) >= w.segRecords {
+		s.spillLocked()
+	}
+}
+
+// spillLocked encodes and appends the buffered records as one segment.
+// Callers hold s.mu.
+func (s *wshard) spillLocked() {
+	if len(s.buf) == 0 || s.err != nil {
+		return
+	}
+	header, payload := encodeSegment(s.buf)
+	if _, err := s.f.Write(header); err != nil {
+		s.err = fmt.Errorf("tracestore: segment header: %w", err)
+		return
+	}
+	if _, err := s.f.Write(payload); err != nil {
+		s.err = fmt.Errorf("tracestore: segment payload: %w", err)
+		return
+	}
+	s.buf = s.buf[:0]
+}
+
+// Flush spills every shard's buffered records as (possibly short)
+// segments without closing the writer. It returns the first error in
+// dataset order.
+func (w *Writer) Flush() error {
+	w.mu.RLock()
+	names := make([]string, 0, len(w.shards))
+	for name := range w.shards {
+		names = append(names, name)
+	}
+	w.mu.RUnlock()
+	sort.Strings(names)
+	var first error
+	for _, name := range names {
+		w.mu.RLock()
+		s := w.shards[name]
+		w.mu.RUnlock()
+		s.mu.Lock()
+		s.spillLocked()
+		if s.err != nil && first == nil {
+			first = s.err
+		}
+		s.mu.Unlock()
+	}
+	return first
+}
+
+// Close spills all buffers, syncs and closes every shard file, and
+// returns the first error in dataset order. The writer is unusable
+// afterwards.
+func (w *Writer) Close() error {
+	first := w.Flush()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	names := make([]string, 0, len(w.shards))
+	for name := range w.shards {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := w.shards[name]
+		s.mu.Lock()
+		if s.err != nil && first == nil {
+			first = s.err
+		}
+		if s.f != nil {
+			if err := s.f.Sync(); err != nil && first == nil {
+				first = fmt.Errorf("tracestore: %w", err)
+			}
+			if err := s.f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("tracestore: %w", err)
+			}
+			s.f = nil
+		}
+		s.mu.Unlock()
+	}
+	return first
+}
+
+// TotalRecords returns the number of records accepted so far.
+func (w *Writer) TotalRecords() int64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var n int64
+	for _, s := range w.shards {
+		s.mu.Lock()
+		n += s.records
+		s.mu.Unlock()
+	}
+	return n
+}
+
+var _ capture.Sink = (*Writer)(nil)
+
+// appendUvarintLen renders a length-prefixed string.
+func appendUvarintLen(s string) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(s)))
+	return append(buf, s...)
+}

@@ -1,0 +1,109 @@
+package ytcdn
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/capture"
+)
+
+// TestStoreParity is the disk-store acceptance gate: the same study
+// run through capture.MemSink and through the disk-backed tracestore
+// must produce byte-identical tables and figures, because the analysis
+// consumes an unordered record multiset either way.
+func TestStoreParity(t *testing.T) {
+	opts := Options{Scale: 0.01, Span: 2 * 24 * time.Hour, Seed: 99}
+
+	memStudy, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskOpts := opts
+	diskOpts.Store = &StoreOptions{Dir: t.TempDir(), SegmentRecords: 1024}
+	diskStudy, err := Run(diskOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if memStudy.TotalFlows() != diskStudy.TotalFlows() {
+		t.Fatalf("TotalFlows: mem %d, disk %d", memStudy.TotalFlows(), diskStudy.TotalFlows())
+	}
+	if dir := diskStudy.StoreDir(); dir == "" {
+		t.Error("disk study must report its store directory")
+	}
+	if memStudy.StoreDir() != "" {
+		t.Error("in-memory study must report no store directory")
+	}
+
+	// Per-dataset record multisets must match (the store reorders
+	// within segments by start time, so compare via sorted copies).
+	for _, name := range DatasetNames() {
+		memRecs := memStudy.Trace(name)
+		diskRecs, err := capture.Collect(diskStudy.TraceIter(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(memRecs) != len(diskRecs) {
+			t.Fatalf("%s: mem %d records, disk %d", name, len(memRecs), len(diskRecs))
+		}
+		counts := make(map[capture.FlowRecord]int, len(memRecs))
+		for _, r := range memRecs {
+			counts[r]++
+		}
+		for _, r := range diskRecs {
+			counts[r]--
+		}
+		for r, c := range counts {
+			if c != 0 {
+				t.Fatalf("%s: record multiset differs at %+v (delta %d)", name, r, c)
+			}
+		}
+	}
+
+	var memOut, diskOut bytes.Buffer
+	if err := memStudy.Experiments().RunAll(&memOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := diskStudy.Experiments().RunAll(&diskOut); err != nil {
+		t.Fatal(err)
+	}
+	if memOut.String() != diskOut.String() {
+		t.Errorf("rendered output differs between MemSink and tracestore paths:\n--- mem ---\n%s\n--- disk ---\n%s",
+			memOut.String(), diskOut.String())
+	}
+}
+
+// TestStoreStudyTraceAccessors exercises the disk-backed Study surface
+// used by examples and cmds.
+func TestStoreStudyTraceAccessors(t *testing.T) {
+	s, err := Run(Options{
+		Scale: 0.002, Span: 24 * time.Hour,
+		Store: &StoreOptions{Dir: t.TempDir(), SegmentRecords: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, name := range DatasetNames() {
+		recs := s.Trace(name)
+		it := s.TraceIter(name)
+		n := 0
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if n != len(recs) {
+			t.Errorf("%s: TraceIter %d records, Trace %d", name, n, len(recs))
+		}
+		total += n
+	}
+	if total != s.TotalFlows() {
+		t.Errorf("sum of traces %d, TotalFlows %d", total, s.TotalFlows())
+	}
+}

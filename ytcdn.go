@@ -22,6 +22,7 @@ package ytcdn
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -34,6 +35,7 @@ import (
 	"github.com/ytcdn-sim/ytcdn/internal/par"
 	"github.com/ytcdn-sim/ytcdn/internal/stats"
 	"github.com/ytcdn-sim/ytcdn/internal/topology"
+	"github.com/ytcdn-sim/ytcdn/internal/tracestore"
 	"github.com/ytcdn-sim/ytcdn/internal/workload"
 )
 
@@ -66,6 +68,14 @@ type Options struct {
 	Catalog  *content.Config
 	Selector *core.Config
 	Player   *cdn.Config
+	// Store, when non-nil, spills the captured traces to a disk-backed
+	// columnar store instead of holding them in memory: capture runs
+	// through a tracestore.Writer (one shard per dataset, fixed-size
+	// segments), and the analysis side streams the segments back with
+	// bounded buffering. Use it for paper-scale (Scale near 1.0 and
+	// beyond) studies; the in-memory default remains right for tests
+	// and small runs. Tables and figures are bit-identical either way.
+	Store *StoreOptions
 	// ExtraSink, when non-nil, additionally receives every flow record
 	// as it is emitted (e.g. a capture.WriterSink streaming to disk).
 	// When the same sink is shared by concurrent studies (RunMany), it
@@ -80,6 +90,20 @@ type Options struct {
 	Parallelism int
 }
 
+// StoreOptions configures the disk-backed trace store of a study.
+// Every study needs its own directory: concurrent studies (RunMany)
+// sharing one Dir would overwrite each other's shards.
+type StoreOptions struct {
+	// Dir is the store directory. It is created if missing; stale
+	// shard files in it are replaced.
+	Dir string
+	// SegmentRecords is the per-dataset spill threshold (records per
+	// segment). Zero means the tracestore default (64Ki records,
+	// a few MB decoded). Smaller segments lower peak memory; larger
+	// ones compress and scan slightly better.
+	SegmentRecords int
+}
+
 // Study is the result of a run: the world (for active probing) and the
 // captured traces (for passive analysis).
 type Study struct {
@@ -91,7 +115,8 @@ type Study struct {
 	Seed        int64
 	Parallelism int
 
-	sink *capture.MemSink
+	mem   *capture.MemSink   // in-memory capture (nil when store-backed)
+	store *tracestore.Reader // disk-backed capture (nil when in-memory)
 
 	expOnce sync.Once
 	exp     *experiments.Harness
@@ -170,10 +195,23 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 	}
 
 	var eng des.Engine
-	mem := capture.NewMemSink()
-	var sink capture.Sink = mem
+	var mem *capture.MemSink
+	var writer *tracestore.Writer
+	var sink capture.Sink
+	if opts.Store != nil {
+		writer, err = tracestore.NewWriter(opts.Store.Dir, tracestore.Options{
+			SegmentRecords: opts.Store.SegmentRecords,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ytcdn: %w", err)
+		}
+		sink = writer
+	} else {
+		mem = capture.NewMemSink()
+		sink = mem
+	}
 	if opts.ExtraSink != nil {
-		sink = capture.NewTeeSink(mem, opts.ExtraSink)
+		sink = capture.NewTeeSink(sink, opts.ExtraSink)
 	}
 
 	root := stats.NewRNG(opts.Seed)
@@ -192,6 +230,17 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 
 	eng.Run()
 
+	var store *tracestore.Reader
+	if writer != nil {
+		if err := writer.Close(); err != nil {
+			return nil, fmt.Errorf("ytcdn: %w", err)
+		}
+		store, err = tracestore.OpenReader(opts.Store.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("ytcdn: %w", err)
+		}
+	}
+
 	return &Study{
 		World:       w,
 		Catalog:     cat,
@@ -200,7 +249,8 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 		Span:        opts.Span,
 		Seed:        opts.Seed,
 		Parallelism: opts.Parallelism,
-		sink:        mem,
+		mem:         mem,
+		store:       store,
 	}, nil
 }
 
@@ -235,14 +285,88 @@ func Replicates(base Options, n int) []Options {
 	return out
 }
 
-// Trace returns the flow records captured at the named vantage point,
-// in emission order.
+// Trace returns the flow records captured at the named vantage point.
+// In-memory studies return a fresh copy in emission order; disk-backed
+// studies materialize the shard (segments in spill order, records
+// start-sorted within each segment — the stored order). The slice is
+// the caller's to keep. For large disk-backed studies prefer
+// TraceIter, which also surfaces read errors; Trace returns what was
+// readable.
 func (s *Study) Trace(dataset string) []capture.FlowRecord {
-	return s.sink.Trace(dataset)
+	if s.store != nil {
+		recs, _ := capture.Collect(s.store.Iter(dataset))
+		return recs
+	}
+	return s.mem.Trace(dataset)
 }
 
+// TraceIter streams the flow records captured at the named vantage
+// point. Disk-backed studies decode one segment at a time; check the
+// iterator's Err after exhaustion.
+func (s *Study) TraceIter(dataset string) capture.Iterator {
+	return s.source().Iter(dataset)
+}
+
+// StoreDir returns the disk store directory, or "" for an in-memory
+// study.
+func (s *Study) StoreDir() string {
+	if s.store == nil {
+		return ""
+	}
+	return s.store.Dir()
+}
+
+// source exposes the captured traces as a capture.TraceSource. Both
+// paths report every expected dataset — including one that captured
+// zero flows — so a store-backed study renders the same zero rows an
+// in-memory one does.
+func (s *Study) source() capture.TraceSource {
+	if s.store != nil {
+		return allDatasetsSource{inner: s.store}
+	}
+	// Read-only views over the sink: the simulation has finished, so
+	// the backing slices are stable and need no copying.
+	traces := make(capture.MapSource)
+	for _, name := range DatasetNames() {
+		traces[name] = s.mem.View(name)
+	}
+	return traces
+}
+
+// allDatasetsSource widens a trace source to the study's full dataset
+// list: the tracestore only creates a shard on the first record, so a
+// zero-flow dataset would otherwise vanish from the analysis instead
+// of rendering as a zero row.
+type allDatasetsSource struct {
+	inner capture.TraceSource
+}
+
+// Datasets returns the union of the expected names and whatever the
+// source recorded, sorted.
+func (s allDatasetsSource) Datasets() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, name := range append(DatasetNames(), s.inner.Datasets()...) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Iter streams a dataset; names absent from the source yield an empty
+// iterator.
+func (s allDatasetsSource) Iter(dataset string) capture.Iterator { return s.inner.Iter(dataset) }
+
 // TotalFlows returns the number of flows captured across all datasets.
-func (s *Study) TotalFlows() int { return s.sink.TotalRecords() }
+func (s *Study) TotalFlows() int {
+	if s.store != nil {
+		return int(s.store.TotalRecords())
+	}
+	return s.mem.TotalRecords()
+}
 
 // Experiments returns the harness that regenerates the paper's tables
 // and figures from this study. The harness is built once and shared
@@ -251,15 +375,11 @@ func (s *Study) TotalFlows() int { return s.sink.TotalRecords() }
 // fresh-video counter) that must be claimed through a single harness.
 func (s *Study) Experiments() *experiments.Harness {
 	s.expOnce.Do(func() {
-		traces := make(map[string][]capture.FlowRecord)
-		for _, name := range DatasetNames() {
-			traces[name] = s.sink.Trace(name)
-		}
 		s.exp = experiments.New(experiments.Input{
 			World:       s.World,
 			Catalog:     s.Catalog,
 			Placement:   s.Placement,
-			Traces:      traces,
+			Source:      s.source(),
 			Span:        s.Span,
 			Seed:        s.Seed,
 			Parallelism: s.Parallelism,
