@@ -9,6 +9,8 @@
 //	ytcdn-experiments -scale 1.0                    # full paper scale (~1 min)
 //	ytcdn-experiments -scale 0.05                   # quick pass (~15 s)
 //	ytcdn-experiments -scale 1.0 -store /tmp/yt     # flat RSS: traces spill to disk
+//	ytcdn-experiments -policy client-race           # the suite under another policy
+//	ytcdn-experiments -compare-policies             # one study per built-in policy
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	ytcdn "github.com/ytcdn-sim/ytcdn"
@@ -35,6 +38,10 @@ func main() {
 		"spill traces to a disk-backed columnar store in this directory (empty = in memory); output is identical either way")
 	segment := flag.Int("segment", 0,
 		"records per store segment (0 = tracestore default; only with -store)")
+	policy := flag.String("policy", "paper",
+		"selection policy for the run ("+strings.Join(ytcdn.PolicyNames(), ", ")+")")
+	comparePolicies := flag.Bool("compare-policies", false,
+		"run one study per built-in policy and print the ground-truth comparison table instead of the paper suite")
 	flag.Parse()
 
 	opts := ytcdn.Options{
@@ -50,6 +57,26 @@ func main() {
 	}
 
 	start := time.Now()
+	if *comparePolicies {
+		if *policy != "paper" {
+			log.Fatal("-compare-policies runs every built-in policy; drop -policy")
+		}
+		cmp, err := ytcdn.ComparePolicies(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# policy comparison: scale %.3f, %d days, seed %d, %v\n\n",
+			*scale, *days, *seed, time.Since(start).Round(time.Millisecond))
+		fmt.Println(cmp.Render())
+		return
+	}
+	if *policy != "paper" {
+		p, err := ytcdn.PolicyByName(*policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Policy = p
+	}
 	study, err := ytcdn.Run(opts)
 	if err != nil {
 		log.Fatal(err)
@@ -58,8 +85,8 @@ func main() {
 	if dir := study.StoreDir(); dir != "" {
 		where = "on disk at " + dir
 	}
-	fmt.Printf("# simulation: scale %.3f, %d days, %d flows %s, %v (analysis parallelism %d)\n\n",
-		*scale, *days, study.TotalFlows(), where, time.Since(start).Round(time.Millisecond), *parallelism)
+	fmt.Printf("# simulation: policy %s, scale %.3f, %d days, %d flows %s, %v (analysis parallelism %d)\n\n",
+		*policy, *scale, *days, study.TotalFlows(), where, time.Since(start).Round(time.Millisecond), *parallelism)
 
 	if err := study.Experiments().RunAll(os.Stdout); err != nil {
 		log.Fatal(err)

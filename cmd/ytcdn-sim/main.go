@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	ytcdn "github.com/ytcdn-sim/ytcdn"
@@ -27,7 +28,14 @@ func main() {
 	days := flag.Int("days", 7, "capture window in days")
 	seed := flag.Int64("seed", 20100904, "random seed")
 	out := flag.String("o", "traces.tsv", "output trace file")
+	policy := flag.String("policy", "paper",
+		"selection policy ("+strings.Join(ytcdn.PolicyNames(), ", ")+")")
 	flag.Parse()
+
+	pol, err := ytcdn.PolicyByName(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -41,6 +49,7 @@ func main() {
 		Scale:     *scale,
 		Span:      time.Duration(*days) * 24 * time.Hour,
 		Seed:      *seed,
+		Policy:    pol,
 		ExtraSink: ws,
 	})
 	if err != nil {
@@ -50,7 +59,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("simulated %d days at scale %.3f in %v\n", *days, *scale, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("simulated %d days at scale %.3f under policy %s in %v\n",
+		*days, *scale, *policy, time.Since(start).Round(time.Millisecond))
 	for _, name := range ytcdn.DatasetNames() {
 		trace := study.Trace(name)
 		var bytes int64
@@ -61,5 +71,8 @@ func main() {
 	}
 	spills, hotspots, misses := study.Selector.Counters()
 	fmt.Printf("mechanisms: %d DNS spills, %d hotspot redirects, %d content misses\n", spills, hotspots, misses)
+	m := study.Selection
+	fmt.Printf("selection: %.1f%% of %d chains served from preferred DC, mean RTT %.2f ms, %.3f redirects/chain\n",
+		m.PreferredFrac()*100, m.Chains, m.MeanServedRTTms(), m.MeanRedirects())
 	fmt.Printf("trace written to %s\n", *out)
 }

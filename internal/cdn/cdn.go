@@ -6,6 +6,7 @@ package cdn
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/ytcdn-sim/ytcdn/internal/capture"
@@ -66,6 +67,62 @@ func DefaultConfig() Config {
 	}
 }
 
+// raceQueuePenalty scales the queueing delay a racing player observes
+// from a loaded candidate server. At full utilisation the penalty
+// (one raceQueuePenalty) dwarfs typical inter-DC RTT differences, so
+// a saturated nearby server loses the race to an idle farther one —
+// the property that lets go-with-the-winner clients steer around
+// hot-spots without server cooperation.
+const raceQueuePenalty = 400 * time.Millisecond
+
+// SelectionMetrics aggregates ground-truth outcomes of the selection
+// chains executed through the Google selection path (legacy and
+// third-party quirk sessions are excluded: no policy controls them).
+// It is what the policy-comparison harness tabulates per policy.
+type SelectionMetrics struct {
+	// Chains counts executed selection chains (DNS answer or race
+	// commitment through serve, including follow-up interactions).
+	Chains int
+	// ServedPreferred counts chains whose serving server sits in the
+	// requester's ground-truth preferred DC.
+	ServedPreferred int
+	// Redirects is the total number of redirect hops followed.
+	Redirects int
+	// MaxChain is the longest redirect chain observed.
+	MaxChain int
+	// SumServedRTT accumulates the deterministic base RTT between the
+	// vantage point and the serving server, one term per chain.
+	SumServedRTT time.Duration
+	// RaceWins counts chains resolved by client-side racing.
+	RaceWins int
+}
+
+// PreferredFrac returns the fraction of chains served from the
+// requester's preferred DC.
+func (m SelectionMetrics) PreferredFrac() float64 {
+	if m.Chains == 0 {
+		return 0
+	}
+	return float64(m.ServedPreferred) / float64(m.Chains)
+}
+
+// MeanRedirects returns the mean redirect-chain length in hops.
+func (m SelectionMetrics) MeanRedirects() float64 {
+	if m.Chains == 0 {
+		return 0
+	}
+	return float64(m.Redirects) / float64(m.Chains)
+}
+
+// MeanServedRTTms returns the mean base RTT to the serving server in
+// milliseconds.
+func (m SelectionMetrics) MeanServedRTTms() float64 {
+	if m.Chains == 0 {
+		return 0
+	}
+	return float64(m.SumServedRTT) / float64(m.Chains) / float64(time.Millisecond)
+}
+
 // Request is one user-initiated video session.
 type Request struct {
 	VP     int // index into World.VantagePoints
@@ -93,6 +150,7 @@ type Simulator struct {
 
 	sessions int
 	flows    int
+	metrics  SelectionMetrics
 }
 
 // NewSimulator wires a simulator over a world.
@@ -120,6 +178,10 @@ func (s *Simulator) Sessions() int { return s.sessions }
 
 // Flows returns the number of flows emitted so far.
 func (s *Simulator) Flows() int { return s.flows }
+
+// Metrics returns the ground-truth selection outcomes accumulated so
+// far.
+func (s *Simulator) Metrics() SelectionMetrics { return s.metrics }
 
 // SubmitSession executes a session starting at the engine's current
 // time. It must be called from within an engine event.
@@ -151,7 +213,8 @@ func (s *Simulator) SubmitSession(req Request) {
 	}
 }
 
-// runChain performs DNS resolution and the serve-or-redirect chain,
+// runChain performs server selection (DNS resolution, or a candidate
+// race under a racing policy) and the serve-or-redirect chain,
 // emitting control flows for each redirect and one final video flow.
 // watchScale shrinks the watched fraction (for follow-up interactions).
 func (s *Simulator) runChain(req Request, start time.Duration, watchScale float64) {
@@ -160,29 +223,68 @@ func (s *Simulator) runChain(req Request, start time.Duration, watchScale float6
 	home := s.homes[req.VP]
 
 	t := start
-	srv := s.sel.ResolveDNS(ldns, req.Video, s.g)
+	var srv topology.ServerID
+	if cands := s.sel.RaceCandidates(ldns, req.Video, s.g); len(cands) > 0 {
+		srv = s.raceWinner(req.VP, cands)
+		s.sel.CommitRace(ldns, srv)
+		s.metrics.RaceWins++
+	} else {
+		srv = s.sel.ResolveDNS(ldns, req.Video, s.g)
+	}
 
 	// Optional control prelude to the resolved server.
 	if s.g.Bool(s.cfg.PreludeProb) {
 		t = s.emitControl(vp, req, srv, t)
 	}
 
-	maxHops := s.maxRedirects()
+	hops := 0
+	maxHops := s.sel.MaxRedirects()
 	for hop := 0; hop < maxHops; hop++ {
-		d := s.sel.ServeOrRedirect(srv, req.Video, ldns, home)
+		d := s.sel.ServeOrRedirect(srv, req.Video, ldns, home, s.g)
 		if !d.Redirected {
 			break
 		}
 		// The refused connection is a short control flow.
 		t = s.emitControl(vp, req, srv, t)
 		srv = d.Target
+		hops++
 	}
+
+	s.metrics.Chains++
+	s.metrics.Redirects += hops
+	if hops > s.metrics.MaxChain {
+		s.metrics.MaxChain = hops
+	}
+	if s.w.Server(srv).DC == s.sel.Preferred(ldns) {
+		s.metrics.ServedPreferred++
+	}
+	s.metrics.SumServedRTT += s.w.Net.BaseRTT(s.vpEndpoints[req.VP], s.serverEndpoint(srv))
+
 	s.emitVideo(vp, req, srv, t, watchScale)
 }
 
-// maxRedirects reads the engine's bound from the selector config via
-// the world build; chains are short in practice.
-func (s *Simulator) maxRedirects() int { return 3 }
+// raceWinner models the go-with-the-winner player hook: it opens the
+// race to every candidate, observes each one's time to first byte —
+// one sampled network RTT plus a queueing delay growing quadratically
+// with the server's utilisation — and commits to the first responder.
+// The losers' connections are torn down during the handshake, before
+// any payload, so they fall below the capture pipeline's flow
+// threshold and are not recorded.
+func (s *Simulator) raceWinner(vpIdx int, cands []topology.ServerID) topology.ServerID {
+	best := cands[0]
+	bestT := time.Duration(math.MaxInt64)
+	for _, c := range cands {
+		ttfb := s.w.Net.SampleRTT(s.vpEndpoints[vpIdx], s.serverEndpoint(c), s.g)
+		if capacity := s.w.Server(c).Capacity; capacity > 0 {
+			util := float64(s.sel.ServerLoad(c)) / float64(capacity)
+			ttfb += time.Duration(util * util * float64(raceQueuePenalty))
+		}
+		if ttfb < bestT {
+			best, bestT = c, ttfb
+		}
+	}
+	return best
+}
 
 // serveFromClass serves a session from a uniformly chosen server of a
 // legacy/third-party pool. American networks are pinned to the

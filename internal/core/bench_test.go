@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ytcdn-sim/ytcdn/internal/content"
+	"github.com/ytcdn-sim/ytcdn/internal/stats"
+	"github.com/ytcdn-sim/ytcdn/internal/topology"
+)
+
+// benchCandidates builds deterministic origin-like candidate sets (the
+// shape closestTo sees on the miss-redirect hot path: 2-3 origin DCs).
+func benchCandidates(r *testRig, n int) [][]topology.DataCenterID {
+	google := r.w.GoogleDCs()
+	out := make([][]topology.DataCenterID, 64)
+	for i := range out {
+		set := make([]topology.DataCenterID, n)
+		for j := range set {
+			set[j] = google[(i*7+j*13)%len(google)]
+		}
+		out[i] = set
+	}
+	return out
+}
+
+// BenchmarkClosestTo measures the rank-index lookup path used by miss
+// redirection (one call per cold tail access).
+func BenchmarkClosestTo(b *testing.B) {
+	r := newRig(b, DefaultConfig())
+	cands := benchCandidates(r, 2)
+	ldns := r.w.LDNSes[0].ID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.sel.closestTo(ldns, cands[i%len(cands)])
+	}
+}
+
+// BenchmarkClosestToMapBaseline is the pre-refactor implementation (a
+// per-call candidate map plus a scan of the full ranking), kept as the
+// comparison baseline for the rank-index table.
+func BenchmarkClosestToMapBaseline(b *testing.B) {
+	r := newRig(b, DefaultConfig())
+	cands := benchCandidates(r, 2)
+	ldns := r.w.LDNSes[0].ID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = closestToMapReference(r.sel, ldns, cands[i%len(cands)])
+	}
+}
+
+// BenchmarkResolveDNS measures raw DNS-decision throughput per
+// built-in policy (no load, so the paper policy never spills).
+func BenchmarkResolveDNS(b *testing.B) {
+	policies := []SelectionPolicy{
+		DefaultPaperPolicy(),
+		ProximityOnly{},
+		&LeastLoadedDC{},
+		&ClientRace{},
+	}
+	for _, p := range policies {
+		b.Run(p.Name(), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Policy = p
+			r := newRig(b, cfg)
+			g := stats.NewRNG(1)
+			ldns := r.w.LDNSes[0].ID
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = r.sel.ResolveDNS(ldns, content.VideoID(i%500), g)
+			}
+		})
+	}
+}

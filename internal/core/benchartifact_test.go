@@ -1,0 +1,83 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/content"
+	"github.com/ytcdn-sim/ytcdn/internal/stats"
+	"github.com/ytcdn-sim/ytcdn/internal/topology"
+)
+
+// TestBenchArtifact emits BENCH_selector.json for the CI policy-matrix
+// job when BENCH_SELECTOR_JSON names the output path: full selection
+// decisions per second (one DNS resolution or race plus one
+// serve-or-redirect) for every built-in policy, measured over a mixed
+// popular/tail video stream on the paper world.
+func TestBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_SELECTOR_JSON")
+	if out == "" {
+		t.Skip("set BENCH_SELECTOR_JSON to emit the benchmark artifact")
+	}
+	const decisions = 2_000_000
+
+	policies := []SelectionPolicy{
+		DefaultPaperPolicy(),
+		ProximityOnly{},
+		&LeastLoadedDC{},
+		&ClientRace{},
+	}
+	perPolicy := make(map[string]any, len(policies))
+	for _, p := range policies {
+		cfg := DefaultConfig()
+		cfg.Policy = p
+		r := newRig(t, cfg)
+		g := stats.NewRNG(1)
+		ldnses := r.w.LDNSes
+		homes := make([]Home, len(r.w.VantagePoints))
+		for i, vp := range r.w.VantagePoints {
+			homes[i] = HomeOf(vp)
+		}
+
+		n := 0
+		start := time.Now()
+		for i := 0; n < decisions; i++ {
+			ldns := ldnses[i%len(ldnses)]
+			vid := content.VideoID(i % 1000) // mixes replicated and tail ranks
+			var srv topology.ServerID
+			if cands := r.sel.RaceCandidates(ldns.ID, vid, g); len(cands) > 0 {
+				srv = cands[i%len(cands)]
+				r.sel.CommitRace(ldns.ID, srv)
+			} else {
+				srv = r.sel.ResolveDNS(ldns.ID, vid, g)
+			}
+			r.sel.ServeOrRedirect(srv, vid, ldns.ID, homes[ldns.VantagePoint], g)
+			n += 2
+		}
+		secs := time.Since(start).Seconds()
+		spills, hotspots, misses := r.sel.Counters()
+		perPolicy[p.Name()] = map[string]any{
+			"decisions":         n,
+			"decisions_per_sec": float64(n) / secs,
+			"spills":            spills,
+			"hotspots":          hotspots,
+			"misses":            misses,
+		}
+	}
+
+	artifact := map[string]any{
+		"workload": "round-robin LDNS x 1000-video mix, unloaded trackers",
+		"policies": perPolicy,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %s\n", out, data)
+}

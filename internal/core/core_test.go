@@ -18,7 +18,7 @@ type testRig struct {
 	sel *Selector
 }
 
-func newRig(t *testing.T, selCfg Config) *testRig {
+func newRig(t testing.TB, selCfg Config) *testRig {
 	t.Helper()
 	w, err := topology.BuildPaperWorld(topology.PaperConfig{
 		Scale:             0.001,
@@ -52,6 +52,25 @@ func newRig(t *testing.T, selCfg Config) *testRig {
 
 func (r *testRig) vp(name string) *topology.VantagePoint {
 	return r.w.VantagePoints[r.w.VPIndex(name)]
+}
+
+// closestToMapReference is the pre-refactor map-based closestTo,
+// kept as the single behavioural reference for both the rank-index
+// parity test and the benchmark baseline.
+func closestToMapReference(sel *Selector, id topology.LDNSID, candidates []topology.DataCenterID) topology.DataCenterID {
+	if len(candidates) == 0 {
+		return sel.prefByLDNS[id]
+	}
+	in := make(map[topology.DataCenterID]bool, len(candidates))
+	for _, dc := range candidates {
+		in[dc] = true
+	}
+	for _, dc := range sel.rankByLDNS[id] {
+		if in[dc] {
+			return dc
+		}
+	}
+	return candidates[0]
 }
 
 func TestNewSelectorValidation(t *testing.T) {
@@ -198,7 +217,7 @@ func TestServeReplicatedVideoLocally(t *testing.T) {
 	ldns := us.Subnets[0].LDNS
 	pref := r.sel.Preferred(ldns)
 	srv := r.sel.ServerForVideo(pref, 5) // rank 5: replicated
-	d := r.sel.ServeOrRedirect(srv, 5, ldns, HomeOf(us))
+	d := r.sel.ServeOrRedirect(srv, 5, ldns, HomeOf(us), nil)
 	if d.Redirected {
 		t.Errorf("replicated video redirected: %+v", d)
 	}
@@ -230,7 +249,7 @@ func TestTailVideoFirstAccessRedirectsThenCaches(t *testing.T) {
 	}
 
 	srv := r.sel.ServerForVideo(pref, v)
-	d := r.sel.ServeOrRedirect(srv, v, ldns, home)
+	d := r.sel.ServeOrRedirect(srv, v, ldns, home, nil)
 	if !d.Redirected || d.Reason != ReasonMiss {
 		t.Fatalf("first tail access: %+v, want miss redirect", d)
 	}
@@ -242,7 +261,7 @@ func TestTailVideoFirstAccessRedirectsThenCaches(t *testing.T) {
 		t.Error("redirect target does not hold the video")
 	}
 	// Second access: served locally thanks to pull-through.
-	d2 := r.sel.ServeOrRedirect(srv, v, ldns, home)
+	d2 := r.sel.ServeOrRedirect(srv, v, ldns, home, nil)
 	if d2.Redirected {
 		t.Errorf("second tail access redirected: %+v", d2)
 	}
@@ -263,7 +282,7 @@ func TestHotspotRedirection(t *testing.T) {
 	for i := 0; i < capacity; i++ {
 		r.sel.BeginFlow(srv)
 	}
-	d := r.sel.ServeOrRedirect(srv, v, ldns, HomeOf(us))
+	d := r.sel.ServeOrRedirect(srv, v, ldns, HomeOf(us), nil)
 	if !d.Redirected || d.Reason != ReasonHotspot {
 		t.Fatalf("saturated server answered %+v, want hotspot redirect", d)
 	}
@@ -288,7 +307,7 @@ func TestHotspotDisabled(t *testing.T) {
 	for i := 0; i < r.w.Server(srv).Capacity+5; i++ {
 		r.sel.BeginFlow(srv)
 	}
-	if d := r.sel.ServeOrRedirect(srv, v, ldns, HomeOf(us)); d.Redirected {
+	if d := r.sel.ServeOrRedirect(srv, v, ldns, HomeOf(us), nil); d.Redirected {
 		t.Errorf("redirect with hotspot disabled: %+v", d)
 	}
 }
@@ -434,7 +453,7 @@ func TestMissRedirectTargetsOrigins(t *testing.T) {
 			continue
 		}
 		srv := r.sel.ServerForVideo(pref, cand)
-		d := r.sel.ServeOrRedirect(srv, cand, ldns, home)
+		d := r.sel.ServeOrRedirect(srv, cand, ldns, home, nil)
 		if !d.Redirected {
 			t.Fatal("expected miss redirect")
 		}

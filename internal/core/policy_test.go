@@ -1,0 +1,289 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ytcdn-sim/ytcdn/internal/content"
+	"github.com/ytcdn-sim/ytcdn/internal/stats"
+	"github.com/ytcdn-sim/ytcdn/internal/topology"
+)
+
+// policyRig builds a rig whose engine delegates to the given policy.
+func policyRig(t *testing.T, p SelectionPolicy) *testRig {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Policy = p
+	return newRig(t, cfg)
+}
+
+// TestRankedDCsReturnsCopy is the regression test for the leaked
+// internal ranking slice: corrupting the returned slice must not
+// change the engine's ground truth.
+func TestRankedDCsReturnsCopy(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	ldns := r.w.LDNSes[0].ID
+	ranked := r.sel.RankedDCs(ldns)
+	want := ranked[0]
+	for i := range ranked {
+		ranked[i] = topology.DataCenterID(-1)
+	}
+	if got := r.sel.RankedDCs(ldns)[0]; got != want {
+		t.Fatalf("mutating RankedDCs result corrupted the engine ranking: got %d, want %d", got, want)
+	}
+	if got := r.sel.Preferred(ldns); got != want {
+		t.Fatalf("preferred DC corrupted: got %d, want %d", got, want)
+	}
+}
+
+// saturate pins the preferred DC of the LDNS at its DNS capacity and
+// returns the held servers.
+func saturate(r *testRig, pref topology.DataCenterID) []topology.ServerID {
+	dc := r.w.DC(pref)
+	var held []topology.ServerID
+	for i := 0; i < dc.DNSCapacity; i++ {
+		srv := dc.Servers[i%len(dc.Servers)].ID
+		r.sel.BeginFlow(srv)
+		held = append(held, srv)
+	}
+	return held
+}
+
+func TestProximityOnlyNeverSpills(t *testing.T) {
+	r := policyRig(t, ProximityOnly{})
+	g := stats.NewRNG(11)
+	eu2 := r.vp(topology.DatasetEU2)
+	ldns := eu2.Subnets[0].LDNS
+	pref := r.sel.Preferred(ldns)
+	if r.w.DC(pref).DNSCapacity == 0 {
+		t.Fatal("EU2 preferred must have bounded DNS capacity")
+	}
+	saturate(r, pref)
+	for i := 0; i < 2000; i++ {
+		srv := r.sel.ResolveDNS(ldns, content.VideoID(i%300), g)
+		if r.w.Server(srv).DC != pref {
+			t.Fatal("ProximityOnly resolution left the preferred DC")
+		}
+	}
+	spills, hotspots, _ := r.sel.Counters()
+	if spills != 0 || hotspots != 0 {
+		t.Errorf("ProximityOnly: spills=%d hotspots=%d, want 0,0", spills, hotspots)
+	}
+}
+
+func TestProximityOnlyNoHotspotRedirect(t *testing.T) {
+	r := policyRig(t, ProximityOnly{})
+	us := r.vp(topology.DatasetUSCampus)
+	ldns := us.Subnets[0].LDNS
+	pref := r.sel.Preferred(ldns)
+	v := content.VideoID(3)
+	srv := r.sel.ServerForVideo(pref, v)
+	for i := 0; i < r.w.Server(srv).Capacity+5; i++ {
+		r.sel.BeginFlow(srv)
+	}
+	if d := r.sel.ServeOrRedirect(srv, v, ldns, HomeOf(us), nil); d.Redirected {
+		t.Errorf("ProximityOnly hot-spot redirected: %+v", d)
+	}
+}
+
+func TestProximityOnlyMissGoesToClosestOrigin(t *testing.T) {
+	r := policyRig(t, ProximityOnly{})
+	us := r.vp(topology.DatasetUSCampus)
+	ldns := us.Subnets[0].LDNS
+	home := HomeOf(us)
+	pref := r.sel.Preferred(ldns)
+
+	checked := 0
+	for cand := content.VideoID(400); cand < 600; cand++ {
+		origins := r.pl.Origins(cand, home.Continent, home.ForeignProb, home.Weights)
+		onPref := false
+		for _, o := range origins {
+			if o == pref {
+				onPref = true
+			}
+		}
+		if onPref {
+			continue
+		}
+		srv := r.sel.ServerForVideo(pref, cand)
+		d := r.sel.ServeOrRedirect(srv, cand, ldns, home, nil)
+		if !d.Redirected || d.Reason != ReasonMiss {
+			t.Fatalf("video %d: %+v, want miss redirect", cand, d)
+		}
+		// Always the best-ranked origin — no load-balancing spread.
+		targetDC := r.w.Server(d.Target).DC
+		bestRank := int32(-1)
+		var best topology.DataCenterID
+		for _, o := range origins {
+			if rank := r.sel.rankIndex[ldns][o]; rank >= 0 && (bestRank < 0 || rank < bestRank) {
+				best, bestRank = o, rank
+			}
+		}
+		if targetDC != best {
+			t.Fatalf("video %d: redirected to DC %d, want closest origin %d", cand, targetDC, best)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no cold videos exercised")
+	}
+}
+
+func TestLeastLoadedDCPicksLeastLoaded(t *testing.T) {
+	r := policyRig(t, &LeastLoadedDC{Candidates: 3})
+	g := stats.NewRNG(12)
+	us := r.vp(topology.DatasetUSCampus)
+	ldns := us.Subnets[0].LDNS
+	ranked := r.sel.RankedDCs(ldns)
+
+	// All DCs idle: proximity breaks the tie.
+	srv := r.sel.ResolveDNS(ldns, 7, g)
+	if r.w.Server(srv).DC != ranked[0] {
+		t.Fatalf("idle resolution went to DC %d, want closest %d", r.w.Server(srv).DC, ranked[0])
+	}
+
+	// Load the closest DC just one flow above its neighbours: unlike
+	// PaperPolicy (which tolerates anything below DNS capacity), the
+	// least-loaded policy immediately prefers an emptier candidate.
+	r.sel.BeginFlow(r.w.DC(ranked[0]).Servers[0].ID)
+	srv = r.sel.ResolveDNS(ldns, 7, g)
+	if got := r.w.Server(srv).DC; got != ranked[1] {
+		t.Fatalf("loaded resolution went to DC %d, want next-closest %d", got, ranked[1])
+	}
+
+	// The candidate window is respected: loading the first three
+	// pushes resolutions to the least-loaded inside the window, never
+	// to the fourth.
+	r.sel.BeginFlow(r.w.DC(ranked[1]).Servers[0].ID)
+	r.sel.BeginFlow(r.w.DC(ranked[1]).Servers[0].ID)
+	r.sel.BeginFlow(r.w.DC(ranked[2]).Servers[0].ID)
+	srv = r.sel.ResolveDNS(ldns, 7, g)
+	if got := r.w.Server(srv).DC; got != ranked[0] && got != ranked[2] {
+		t.Fatalf("resolution left the candidate window: DC %d", got)
+	}
+}
+
+func TestClientRaceCandidates(t *testing.T) {
+	r := policyRig(t, &ClientRace{K: 3})
+	g := stats.NewRNG(13)
+	us := r.vp(topology.DatasetUSCampus)
+	ldns := us.Subnets[0].LDNS
+	ranked := r.sel.RankedDCs(ldns)
+	v := content.VideoID(9)
+
+	cands := r.sel.RaceCandidates(ldns, v, g)
+	if len(cands) != 3 {
+		t.Fatalf("got %d candidates, want 3", len(cands))
+	}
+	for i, srv := range cands {
+		if want := r.sel.ServerForVideo(ranked[i], v); srv != want {
+			t.Errorf("candidate %d = server %d, want hashed server %d of DC %d", i, srv, want, ranked[i])
+		}
+	}
+
+	// The fallback DNS path stays on the preferred DC.
+	srv := r.sel.ResolveDNS(ldns, v, g)
+	if r.w.Server(srv).DC != r.sel.Preferred(ldns) {
+		t.Error("ClientRace DNS fallback left the preferred DC")
+	}
+}
+
+func TestRaceCandidatesNilForNonRacingPolicy(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	ldns := r.w.LDNSes[0].ID
+	if cands := r.sel.RaceCandidates(ldns, 1, nil); cands != nil {
+		t.Fatalf("PaperPolicy returned race candidates: %v", cands)
+	}
+}
+
+func TestCommitRaceCountsSpills(t *testing.T) {
+	r := policyRig(t, &ClientRace{})
+	us := r.vp(topology.DatasetUSCampus)
+	ldns := us.Subnets[0].LDNS
+	ranked := r.sel.RankedDCs(ldns)
+
+	r.sel.CommitRace(ldns, r.sel.ServerForVideo(ranked[0], 1)) // preferred: not a spill
+	r.sel.CommitRace(ldns, r.sel.ServerForVideo(ranked[1], 1)) // off-preferred: a spill
+	spills, _, _ := r.sel.Counters()
+	if spills != 1 {
+		t.Fatalf("spills = %d after one off-preferred commit, want 1", spills)
+	}
+}
+
+func TestSetPolicySwapsDecisions(t *testing.T) {
+	r := policyRig(t, ProximityOnly{})
+	g := stats.NewRNG(14)
+	eu2 := r.vp(topology.DatasetEU2)
+	ldns := eu2.Subnets[0].LDNS
+	pref := r.sel.Preferred(ldns)
+	held := saturate(r, pref)
+
+	if srv := r.sel.ResolveDNS(ldns, 5, g); r.w.Server(srv).DC != pref {
+		t.Fatal("ProximityOnly spilled")
+	}
+	if err := r.sel.SetPolicy(DefaultPaperPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	if r.sel.Policy().Name() != "paper" {
+		t.Fatalf("active policy = %q, want paper", r.sel.Policy().Name())
+	}
+	// Same saturation, new policy: the paper engine spills.
+	if srv := r.sel.ResolveDNS(ldns, 5, g); r.w.Server(srv).DC == pref {
+		t.Fatal("PaperPolicy did not spill after the switch")
+	}
+	for _, srv := range held {
+		r.sel.EndFlow(srv)
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	if err := ValidatePolicy(nil); err == nil {
+		t.Error("nil policy must be rejected")
+	}
+	if err := ValidatePolicy(&PaperPolicy{SpillCandidates: 0}); err == nil {
+		t.Error("PaperPolicy.SpillCandidates=0 must be rejected")
+	}
+	if err := ValidatePolicy(&LeastLoadedDC{Candidates: -1}); err == nil {
+		t.Error("LeastLoadedDC.Candidates=-1 must be rejected")
+	}
+	if err := ValidatePolicy(&ClientRace{K: -1}); err == nil {
+		t.Error("ClientRace.K=-1 must be rejected")
+	}
+	if err := ValidatePolicy(&ClientRace{}); err != nil {
+		t.Errorf("zero ClientRace must validate, got %v", err)
+	}
+
+	r := newRig(t, DefaultConfig())
+	if err := r.sel.SetPolicy(nil); err == nil {
+		t.Error("SetPolicy(nil) must fail")
+	}
+	cfg := DefaultConfig()
+	cfg.Policy = &PaperPolicy{SpillCandidates: -2}
+	if _, err := NewSelector(r.w, r.pl, cfg); err == nil {
+		t.Error("NewSelector must reject an invalid policy")
+	}
+}
+
+// TestClosestToMatchesReference pins the rank-index fast path against
+// the original map-based reference implementation.
+func TestClosestToMatchesReference(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	g := stats.NewRNG(15)
+	google := r.w.GoogleDCs()
+	for _, ldns := range r.w.LDNSes {
+		for trial := 0; trial < 50; trial++ {
+			n := 1 + g.Intn(4)
+			cands := make([]topology.DataCenterID, n)
+			for i := range cands {
+				cands[i] = google[g.Intn(len(google))]
+			}
+			got := r.sel.closestTo(ldns.ID, cands)
+			want := closestToMapReference(r.sel, ldns.ID, cands)
+			if got != want {
+				t.Fatalf("closestTo(%d, %v) = %d, reference %d", ldns.ID, cands, got, want)
+			}
+		}
+		if got := r.sel.closestTo(ldns.ID, nil); got != r.sel.prefByLDNS[ldns.ID] {
+			t.Fatalf("closestTo with no candidates = %d, want preferred", got)
+		}
+	}
+}

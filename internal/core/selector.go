@@ -14,14 +14,21 @@ import (
 type Config struct {
 	// MaxRedirects bounds an application-layer redirect chain.
 	MaxRedirects int
+	// Policy is the selection policy the engine delegates to. Nil
+	// means the paper's behaviour: a PaperPolicy assembled from the
+	// three legacy ablation fields below.
+	Policy SelectionPolicy
 	// DNSLoadBalancing enables adaptive spilling away from an
 	// overloaded preferred DC. Disabling it is the §VII-A ablation.
+	// Consumed by the default PaperPolicy; ignored when Policy is set.
 	DNSLoadBalancing bool
 	// HotspotRedirection enables server-level overload redirects.
-	// Disabling it is the §VII-C hot-spot ablation.
+	// Disabling it is the §VII-C hot-spot ablation. Consumed by the
+	// default PaperPolicy; ignored when Policy is set.
 	HotspotRedirection bool
 	// SpillCandidates is how many next-best DCs a spilled resolution
-	// considers.
+	// considers. Consumed by the default PaperPolicy; ignored when
+	// Policy is set.
 	SpillCandidates int
 }
 
@@ -72,23 +79,32 @@ func (r RedirectReason) String() string {
 	}
 }
 
-// Selector is the server-selection engine: the authoritative DNS
-// policy plus the content servers' serve-or-redirect logic, sharing
-// load trackers and the placement layer. Not safe for concurrent use.
+// Selector is the server-selection engine. Since the policy split it
+// is deliberately thin: it owns the ground truth a policy consults
+// (the per-LDNS preferred map and RTT ranking), the shared load
+// trackers, the placement layer (including pull-through on misses)
+// and the mechanism counters — and delegates every actual decision to
+// its SelectionPolicy through a restricted PolicyView. Not safe for
+// concurrent use.
 type Selector struct {
 	w         *topology.World
 	placement *Placement
 	cfg       Config
+	policy    SelectionPolicy
 
 	// prefByLDNS is the ground-truth preferred DC per local DNS
 	// server: RTT-best unless overridden by assignment policy.
 	prefByLDNS []topology.DataCenterID
 	// rankByLDNS lists Google DCs in increasing RTT order per LDNS.
 	rankByLDNS [][]topology.DataCenterID
+	// rankIndex inverts rankByLDNS: rankIndex[ldns][dc] is dc's rank,
+	// -1 for DCs outside the ranking. Built once so the miss-redirect
+	// hot path (closestTo) never allocates.
+	rankIndex [][]int32
 
 	dcFlows  *LoadTracker // concurrent video flows per DC (DNS view)
 	srvSess  *LoadTracker // concurrent sessions per server
-	spills   int          // DNS spill count (ablation accounting)
+	spills   int          // resolutions answered off-preferred
 	hotspots int          // hotspot redirect count
 	misses   int          // miss redirect count
 }
@@ -100,15 +116,25 @@ func NewSelector(w *topology.World, placement *Placement, cfg Config) (*Selector
 	if cfg.MaxRedirects < 1 {
 		return nil, fmt.Errorf("core: MaxRedirects must be >= 1, got %d", cfg.MaxRedirects)
 	}
-	if cfg.SpillCandidates < 1 {
-		return nil, fmt.Errorf("core: SpillCandidates must be >= 1, got %d", cfg.SpillCandidates)
+	policy := cfg.Policy
+	if policy == nil {
+		policy = &PaperPolicy{
+			DNSLoadBalancing:   cfg.DNSLoadBalancing,
+			HotspotRedirection: cfg.HotspotRedirection,
+			SpillCandidates:    cfg.SpillCandidates,
+		}
+	}
+	if err := ValidatePolicy(policy); err != nil {
+		return nil, err
 	}
 	s := &Selector{
 		w:          w,
 		placement:  placement,
 		cfg:        cfg,
+		policy:     policy,
 		prefByLDNS: make([]topology.DataCenterID, len(w.LDNSes)),
 		rankByLDNS: make([][]topology.DataCenterID, len(w.LDNSes)),
+		rankIndex:  make([][]int32, len(w.LDNSes)),
 		dcFlows:    NewLoadTracker("dc-flows", len(w.DataCenters)),
 		srvSess:    NewLoadTracker("server-sessions", len(w.Servers)),
 	}
@@ -123,6 +149,14 @@ func NewSelector(w *topology.World, placement *Placement, cfg Config) (*Selector
 				w.Net.BaseRTT(ep, w.DC(ranked[j]).Endpoint())
 		})
 		s.rankByLDNS[ldns.ID] = ranked
+		idx := make([]int32, len(w.DataCenters))
+		for i := range idx {
+			idx[i] = -1
+		}
+		for rank, dc := range ranked {
+			idx[dc] = int32(rank)
+		}
+		s.rankIndex[ldns.ID] = idx
 		if dc, ok := w.PreferredOverrides[ldns.ID]; ok {
 			s.prefByLDNS[ldns.ID] = dc
 		} else {
@@ -132,14 +166,40 @@ func NewSelector(w *topology.World, placement *Placement, cfg Config) (*Selector
 	return s, nil
 }
 
+// Policy returns the active selection policy.
+func (s *Selector) Policy() SelectionPolicy { return s.policy }
+
+// SetPolicy swaps the active selection policy, modelling the
+// assignment-policy change the paper observed between its 2010 capture
+// and the February 2011 follow-up. Load trackers, placement state and
+// mechanism counters carry over — only future decisions change.
+func (s *Selector) SetPolicy(p SelectionPolicy) error {
+	if err := ValidatePolicy(p); err != nil {
+		return err
+	}
+	s.policy = p
+	return nil
+}
+
+// MaxRedirects returns the engine's redirect-chain bound.
+func (s *Selector) MaxRedirects() int { return s.cfg.MaxRedirects }
+
+// view builds the restricted policy window for one decision.
+func (s *Selector) view(g *stats.RNG) PolicyView { return PolicyView{RNG: g, sel: s} }
+
 // Preferred returns the ground-truth preferred DC of an LDNS.
 func (s *Selector) Preferred(id topology.LDNSID) topology.DataCenterID {
 	return s.prefByLDNS[id]
 }
 
 // RankedDCs returns the LDNS's Google DCs in increasing RTT order.
+// The slice is a copy: the ranking is ground truth shared by every
+// policy decision, so callers must not be able to corrupt it.
 func (s *Selector) RankedDCs(id topology.LDNSID) []topology.DataCenterID {
-	return s.rankByLDNS[id]
+	ranked := s.rankByLDNS[id]
+	out := make([]topology.DataCenterID, len(ranked))
+	copy(out, ranked)
+	return out
 }
 
 // serverFor returns the server a video maps to inside a DC, by
@@ -152,58 +212,35 @@ func (s *Selector) serverFor(dc topology.DataCenterID, v content.VideoID) topolo
 }
 
 // ResolveDNS models step 3 of the paper's Fig 1: the authoritative DNS
-// answers the LDNS's query for a video-specific content hostname. It
-// returns the server the client will contact first. With DNS load
-// balancing on, an overloaded preferred DC sheds a load-proportional
-// fraction of resolutions to the next-best DCs.
+// answers the LDNS's query for a video-specific content hostname. The
+// policy picks the data center; the engine maps it to the video's
+// hashed server and counts off-preferred answers as spills.
 func (s *Selector) ResolveDNS(id topology.LDNSID, v content.VideoID, g *stats.RNG) topology.ServerID {
-	pref := s.prefByLDNS[id]
-	dc := pref
-	if s.cfg.DNSLoadBalancing {
-		cap := s.w.DC(pref).DNSCapacity
-		load := s.dcFlows.Load(int(pref))
-		if cap > 0 && load >= cap {
-			// The data center is full: spill this resolution. Keeping
-			// accepted concurrency pinned at capacity makes the
-			// accepted fraction track capacity/demand, which is the
-			// paper's Fig 11 behaviour (the internal DC serves ~100%
-			// at night and ~30% at daytime overload).
-			dc = s.spillTarget(id, v, g)
-			if dc != pref {
-				s.spills++
-			}
-		}
+	dc := s.policy.ResolveDNS(s.view(g), id, v)
+	if dc != s.prefByLDNS[id] {
+		s.spills++
 	}
 	return s.serverFor(dc, v)
 }
 
-// spillTarget picks the spill DC: the next-ranked DCs after the
-// preferred, skipping ones that are themselves above DNS capacity.
-func (s *Selector) spillTarget(id topology.LDNSID, v content.VideoID, g *stats.RNG) topology.DataCenterID {
-	ranked := s.rankByLDNS[id]
-	candidates := make([]topology.DataCenterID, 0, s.cfg.SpillCandidates)
-	for _, dc := range ranked {
-		if dc == s.prefByLDNS[id] {
-			continue
-		}
-		cap := s.w.DC(dc).DNSCapacity
-		if cap > 0 && s.dcFlows.Load(int(dc)) > cap {
-			continue
-		}
-		candidates = append(candidates, dc)
-		if len(candidates) == s.cfg.SpillCandidates {
-			break
-		}
+// RaceCandidates returns the policy's candidate servers for
+// client-side racing, or nil when the active policy does not race.
+// The caller (the player) commits to a winner via CommitRace.
+func (s *Selector) RaceCandidates(id topology.LDNSID, v content.VideoID, g *stats.RNG) []topology.ServerID {
+	rp, ok := s.policy.(RacingPolicy)
+	if !ok {
+		return nil
 	}
-	if len(candidates) == 0 {
-		return s.prefByLDNS[id]
+	return rp.RaceCandidates(s.view(g), id, v)
+}
+
+// CommitRace records the server a racing player committed to, keeping
+// the spill ground truth consistent with the DNS path: a commitment
+// outside the requester's preferred DC counts as a spill.
+func (s *Selector) CommitRace(id topology.LDNSID, srv topology.ServerID) {
+	if s.w.Server(srv).DC != s.prefByLDNS[id] {
+		s.spills++
 	}
-	// Strongly favour the closest spill candidate: the paper's EU2
-	// sees essentially one external data center absorb the spill.
-	if len(candidates) == 1 || g.Bool(0.95) {
-		return candidates[0]
-	}
-	return candidates[1+g.Intn(len(candidates)-1)]
 }
 
 // Home carries the requester-side origin parameters of a vantage
@@ -224,86 +261,50 @@ func HomeOf(vp *topology.VantagePoint) Home {
 }
 
 // ServeOrRedirect models step 4 of Fig 1: the contacted server either
-// serves the video or answers with a redirect. home parameterizes
-// tail-video origin lookup for the requesting network (see Placement).
-func (s *Selector) ServeOrRedirect(srv topology.ServerID, v content.VideoID, ldns topology.LDNSID, home Home) Decision {
-	server := s.w.Server(srv)
-	dc := server.DC
-
-	// Cause (iv): the data center does not hold the video. Redirect
-	// toward the closest origin copy and pull the video through so
-	// only the first access pays (paper Figs 17/18).
-	if !s.placement.Has(dc, v, home.Continent, home.ForeignProb, home.Weights) {
-		origins := s.placement.Origins(v, home.Continent, home.ForeignProb, home.Weights)
-		target := s.pickOrigin(ldns, v, origins)
-		s.placement.Pull(dc, v)
+// serves the video or answers with a redirect, as decided by the
+// policy. The engine applies the decision's side effects: a miss
+// redirect pulls the video into the contacted server's DC
+// (pull-through caching, so only the first access pays — paper Figs
+// 17/18) and bumps the miss counter; a hotspot redirect bumps the
+// hotspot counter. home parameterizes tail-video origin lookup for
+// the requesting network (see Placement); g is the per-decision RNG
+// (the built-in policies draw nothing here, so nil is acceptable for
+// them).
+func (s *Selector) ServeOrRedirect(srv topology.ServerID, v content.VideoID, ldns topology.LDNSID, home Home, g *stats.RNG) Decision {
+	d := s.policy.ServeOrRedirect(s.view(g), srv, v, ldns, home)
+	if !d.Redirected {
+		return d
+	}
+	switch d.Reason {
+	case ReasonMiss:
+		s.placement.Pull(s.w.Server(srv).DC, v)
 		s.misses++
-		return Decision{Redirected: true, Target: s.serverFor(target, v), Reason: ReasonMiss}
+	case ReasonHotspot:
+		s.hotspots++
 	}
-
-	// Cause (iii): the hashed server is above capacity; shed to a
-	// server in a non-preferred data center.
-	if s.cfg.HotspotRedirection && server.Capacity > 0 && s.srvSess.Load(int(srv)) >= server.Capacity {
-		target := s.hotspotTarget(ldns, dc)
-		if target != dc {
-			s.hotspots++
-			return Decision{Redirected: true, Target: s.serverFor(target, v), Reason: ReasonHotspot}
-		}
-	}
-	return Decision{}
+	return d
 }
 
-// pickOrigin chooses which origin copy a miss is redirected to:
-// usually the closest to the requester, but a quarter of videos
-// (deterministically, by hash) use another copy — origin selection in
-// the real CDN balances load as well as proximity, and this spread is
-// what makes traces touch servers in nearly every data center of the
-// requester's continent (Table III).
-func (s *Selector) pickOrigin(id topology.LDNSID, v content.VideoID, origins []topology.DataCenterID) topology.DataCenterID {
-	if len(origins) > 1 && hashU64("origin-pick", int64(v))%4 == 0 {
-		alt := origins[hashU64("origin-alt", int64(v))%uint64(len(origins))]
-		if alt != s.closestTo(id, origins) {
-			return alt
-		}
-		return origins[hashU64("origin-alt2", int64(v))%uint64(len(origins))]
-	}
-	return s.closestTo(id, origins)
-}
-
-// closestTo returns the candidate DC ranked best for the LDNS. The
-// candidates slice is never empty in practice (origins of a tail video
-// always exist); if it were, the preferred DC is returned.
+// closestTo returns the candidate DC ranked best for the LDNS, via the
+// precomputed rank-index table (the map-free hot path under miss
+// redirection). The candidates slice is never empty in practice
+// (origins of a tail video always exist); if it were, the preferred DC
+// is returned. Candidates outside the ranking lose to any ranked one;
+// an all-unranked set yields the first candidate.
 func (s *Selector) closestTo(id topology.LDNSID, candidates []topology.DataCenterID) topology.DataCenterID {
 	if len(candidates) == 0 {
 		return s.prefByLDNS[id]
 	}
-	in := make(map[topology.DataCenterID]bool, len(candidates))
+	idx := s.rankIndex[id]
+	best := candidates[0]
+	bestRank := int32(-1)
 	for _, dc := range candidates {
-		in[dc] = true
-	}
-	for _, dc := range s.rankByLDNS[id] {
-		if in[dc] {
-			return dc
+		rank := idx[dc]
+		if rank >= 0 && (bestRank < 0 || rank < bestRank) {
+			best, bestRank = dc, rank
 		}
 	}
-	return candidates[0]
-}
-
-// hotspotTarget picks where an overloaded server sheds a request: the
-// best-ranked DC other than its own whose DC-level load is within DNS
-// capacity. Returns the server's own DC when nothing qualifies.
-func (s *Selector) hotspotTarget(id topology.LDNSID, own topology.DataCenterID) topology.DataCenterID {
-	for _, dc := range s.rankByLDNS[id] {
-		if dc == own {
-			continue
-		}
-		cap := s.w.DC(dc).DNSCapacity
-		if cap > 0 && s.dcFlows.Load(int(dc)) > cap {
-			continue
-		}
-		return dc
-	}
-	return own
+	return best
 }
 
 // BeginFlow records a video flow starting at server srv: the server
@@ -326,8 +327,9 @@ func (s *Selector) DCLoad(dc topology.DataCenterID) int { return s.dcFlows.Load(
 // ServerLoad returns the current concurrent session count of a server.
 func (s *Selector) ServerLoad(srv topology.ServerID) int { return s.srvSess.Load(int(srv)) }
 
-// Counters returns ground-truth mechanism counts (DNS spills, hotspot
-// redirects, miss redirects) for ablation studies.
+// Counters returns ground-truth mechanism counts (off-preferred DNS
+// answers or race commitments, hotspot redirects, miss redirects) for
+// ablation studies and the policy-comparison harness.
 func (s *Selector) Counters() (spills, hotspots, misses int) {
 	return s.spills, s.hotspots, s.misses
 }

@@ -728,7 +728,14 @@ func (h *Harness) Fig16Video1Server() (*Fig16Result, error) {
 		}
 	}
 	if bestN < 0 {
-		return nil, fmt.Errorf("experiments: video1 never served by preferred DC")
+		// Possible under non-paper selection policies (e.g. pure
+		// proximity): the hottest non-preferred video may never touch
+		// the preferred DC at all. Render an explicit empty pattern
+		// instead of failing the suite.
+		return &Fig16Result{
+			Pattern: analysis.SessionsAtServer(nil, ds.dcmap, ds.pref.Preferred, 0, h.in.Span),
+			Server:  "none (video1 never served by preferred DC)",
+		}, nil
 	}
 	srvAddr := ipAddrFromU32(best)
 	pattern := analysis.SessionsAtServer(ds.sessions, ds.dcmap, ds.pref.Preferred, srvAddr, h.in.Span)

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PolicyComparisonRow is one policy's ground-truth outcome summary
+// over an identical workload.
+type PolicyComparisonRow struct {
+	// Policy is the row's policy name.
+	Policy string
+	// Flows is the total captured flow count (all datasets).
+	Flows int
+	// Chains is the number of selection chains executed.
+	Chains int
+	// PreferredFrac is the fraction of chains served from the
+	// requester's preferred DC.
+	PreferredFrac float64
+	// MeanServedRTTms is the mean base RTT to the serving server.
+	MeanServedRTTms float64
+	// MeanRedirects and MaxChain summarize redirect-chain lengths.
+	MeanRedirects float64
+	MaxChain      int
+	// RaceWins counts chains resolved by client-side racing.
+	RaceWins int
+	// Spills, Hotspots, Misses are the engine's mechanism counters.
+	Spills, Hotspots, Misses int
+}
+
+// PolicyComparison is the per-policy comparison table emitted by
+// ytcdn.ComparePolicies: the same seed, scale and span run once per
+// policy, rows in the order the policies were given.
+type PolicyComparison struct {
+	Rows []PolicyComparisonRow
+}
+
+// Render formats the comparison in the paper-table style.
+func (r *PolicyComparison) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "POLICY COMPARISON: GROUND-TRUTH SELECTION OUTCOMES PER POLICY\n")
+	fmt.Fprintf(&b, "%-14s %9s %9s %9s %11s %9s %6s %9s %9s %9s %9s\n",
+		"Policy", "Flows", "Chains", "Pref[%]", "RTT[ms]", "Redir/ch", "MaxCh", "RaceWins", "Spills", "Hotspots", "Misses")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %9d %9d %8.1f%% %11.2f %9.3f %6d %9d %9d %9d %9d\n",
+			row.Policy, row.Flows, row.Chains, row.PreferredFrac*100, row.MeanServedRTTms,
+			row.MeanRedirects, row.MaxChain, row.RaceWins, row.Spills, row.Hotspots, row.Misses)
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package ytcdn
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"github.com/ytcdn-sim/ytcdn/internal/core"
+	"github.com/ytcdn-sim/ytcdn/internal/experiments"
+)
+
+// NamedPolicy pairs a selection policy with the label it carries in
+// comparison tables and command-line flags.
+type NamedPolicy struct {
+	Name   string
+	Policy core.SelectionPolicy
+}
+
+// BuiltinPolicies returns fresh instances of the four built-in
+// selection policies, in canonical order:
+//
+//   - paper: the reverse-engineered 2010 YouTube behaviour
+//     (RTT-preferred with adaptive DNS spilling, miss and hot-spot
+//     redirection) — the default
+//   - proximity: pure RTT-preferred, no load adaptation
+//   - least-loaded: the least-loaded of the closest DCs wins
+//   - client-race: go-with-the-winner client-side racing
+func BuiltinPolicies() []NamedPolicy {
+	return []NamedPolicy{
+		{"paper", core.DefaultPaperPolicy()},
+		{"proximity", core.ProximityOnly{}},
+		{"least-loaded", &core.LeastLoadedDC{}},
+		{"client-race", &core.ClientRace{}},
+	}
+}
+
+// PolicyNames returns the built-in policy names in canonical order.
+func PolicyNames() []string {
+	builtins := BuiltinPolicies()
+	out := make([]string, len(builtins))
+	for i, np := range builtins {
+		out[i] = np.Name
+	}
+	return out
+}
+
+// PolicyByName resolves a built-in policy by its name (as used by the
+// -policy command-line flags).
+func PolicyByName(name string) (core.SelectionPolicy, error) {
+	for _, np := range BuiltinPolicies() {
+		if np.Name == name {
+			return np.Policy, nil
+		}
+	}
+	return nil, fmt.Errorf("ytcdn: unknown policy %q (built-ins: %s)", name, strings.Join(PolicyNames(), ", "))
+}
+
+// ComparePolicies runs one study per policy over an identical
+// workload — same seed, scale, span and world configuration — and
+// tabulates each policy's ground-truth selection outcomes: the
+// preferred-DC fraction, mean base RTT to the serving server,
+// redirect-chain lengths, and the spill/hotspot/miss mechanism
+// counters. With no policies given it compares the four built-ins.
+//
+// The studies run concurrently through RunMany (bounded by
+// base.Parallelism), and every row is bit-reproducible: each study's
+// randomness forks from the shared seed independently of scheduling
+// order, so row i is identical to a sequential Run with that policy.
+// base.Policy and base.PolicySwitch must be unset — the compared
+// policies replace them (a PolicySwitch timeline can itself be
+// compared by wrapping it in the per-run Options instead). When
+// base.Store is set, each policy's capture spills to a per-policy
+// subdirectory of base.Store.Dir.
+func ComparePolicies(base Options, policies ...NamedPolicy) (*experiments.PolicyComparison, error) {
+	if base.Policy != nil || base.PolicySwitch != nil {
+		return nil, fmt.Errorf("ytcdn: ComparePolicies needs a policy-free base Options")
+	}
+	if len(policies) == 0 {
+		policies = BuiltinPolicies()
+	}
+	seen := make(map[string]bool, len(policies))
+	optss := make([]Options, len(policies))
+	for i, np := range policies {
+		if np.Name == "" || np.Policy == nil {
+			return nil, fmt.Errorf("ytcdn: policy %d: Name and Policy must be set", i)
+		}
+		if seen[np.Name] {
+			return nil, fmt.Errorf("ytcdn: duplicate policy name %q", np.Name)
+		}
+		seen[np.Name] = true
+		optss[i] = base
+		optss[i].Policy = np.Policy
+		if base.Store != nil {
+			st := *base.Store
+			st.Dir = filepath.Join(st.Dir, np.Name)
+			optss[i].Store = &st
+		}
+	}
+
+	studies, err := RunMany(optss, base.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+
+	cmp := &experiments.PolicyComparison{Rows: make([]experiments.PolicyComparisonRow, len(studies))}
+	for i, s := range studies {
+		spills, hotspots, misses := s.Selector.Counters()
+		m := s.Selection
+		cmp.Rows[i] = experiments.PolicyComparisonRow{
+			Policy:          policies[i].Name,
+			Flows:           s.TotalFlows(),
+			Chains:          m.Chains,
+			PreferredFrac:   m.PreferredFrac(),
+			MeanServedRTTms: m.MeanServedRTTms(),
+			MeanRedirects:   m.MeanRedirects(),
+			MaxChain:        m.MaxChain,
+			RaceWins:        m.RaceWins,
+			Spills:          spills,
+			Hotspots:        hotspots,
+			Misses:          misses,
+		}
+	}
+	return cmp, nil
+}

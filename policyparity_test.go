@@ -1,0 +1,74 @@
+package ytcdn
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// policyParityGolden holds the rendered Tables I-II and Fig 4 of a
+// Scale-0.05 study captured before the selection engine was split into
+// engine + pluggable policy. TestPolicyParity regenerates the same
+// renders through the policy API (PaperPolicy is the default) and
+// requires byte identity, proving the redesign did not perturb a
+// single decision or RNG draw.
+//
+// Regenerate (only when an intentional simulation change lands) with:
+//
+//	YTCDN_REGEN_GOLDEN=1 go test -run TestPolicyParity .
+const policyParityGolden = "testdata/policy_parity_scale005.golden"
+
+// parityRender runs the study and renders the geolocation-free subset
+// of the suite (Tables I-II, Fig 4) that still covers every flow of
+// every dataset byte-for-byte.
+func parityRender(t *testing.T, opts Options) string {
+	t.Helper()
+	study, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := study.Experiments()
+	var out bytes.Buffer
+	t1, err := h.TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := h.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4, err := h.Fig04FlowSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&out, t1.Render())
+	fmt.Fprintln(&out, t2.Render())
+	fmt.Fprintln(&out, f4.Render())
+	return out.String()
+}
+
+func TestPolicyParity(t *testing.T) {
+	got := parityRender(t, Options{Scale: 0.05, Span: 7 * 24 * time.Hour})
+
+	if os.Getenv("YTCDN_REGEN_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(policyParityGolden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(policyParityGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", policyParityGolden, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(policyParityGolden)
+	if err != nil {
+		t.Fatalf("golden missing (run with YTCDN_REGEN_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("policy-API output diverged from pre-refactor golden\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

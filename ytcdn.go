@@ -68,6 +68,18 @@ type Options struct {
 	Catalog  *content.Config
 	Selector *core.Config
 	Player   *cdn.Config
+	// Policy is the server-selection policy the engine delegates to.
+	// Nil means the paper's reverse-engineered behaviour
+	// (core.PaperPolicy, configured by the Selector ablation flags);
+	// see BuiltinPolicies for the other built-ins. Setting both
+	// Policy and Selector.Policy is rejected.
+	Policy core.SelectionPolicy
+	// PolicySwitch, when non-nil, swaps the selection policy mid-run —
+	// the scenario the paper stumbled into when Google changed the
+	// assignment policy between the 2010 captures and the February
+	// 2011 follow-up. Load state, placement and counters carry across
+	// the switch; only decisions after At change.
+	PolicySwitch *PolicySwitch
 	// Store, when non-nil, spills the captured traces to a disk-backed
 	// columnar store instead of holding them in memory: capture runs
 	// through a tracestore.Writer (one shard per dataset, fixed-size
@@ -88,6 +100,14 @@ type Options struct {
 	// The computed tables and figures are bit-identical either way;
 	// the simulation itself is single-threaded by design.
 	Parallelism int
+}
+
+// PolicySwitch schedules a mid-run selection-policy change.
+type PolicySwitch struct {
+	// At is the simulation time of the switch (offset into the span).
+	At time.Duration
+	// To is the policy in force from At on.
+	To core.SelectionPolicy
 }
 
 // StoreOptions configures the disk-backed trace store of a study.
@@ -114,6 +134,11 @@ type Study struct {
 	Span        time.Duration
 	Seed        int64
 	Parallelism int
+
+	// Selection holds the ground-truth selection outcomes of the run
+	// (preferred-DC fraction, served RTT, redirect-chain lengths) —
+	// what ComparePolicies tabulates per policy.
+	Selection cdn.SelectionMetrics
 
 	mem   *capture.MemSink   // in-memory capture (nil when store-backed)
 	store *tracestore.Reader // disk-backed capture (nil when in-memory)
@@ -184,6 +209,12 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 	if opts.Selector != nil {
 		selCfg = *opts.Selector
 	}
+	if opts.Policy != nil {
+		if selCfg.Policy != nil {
+			return nil, fmt.Errorf("ytcdn: Options.Policy and Options.Selector.Policy both set")
+		}
+		selCfg.Policy = opts.Policy
+	}
 	sel, err := core.NewSelector(w, placement, selCfg)
 	if err != nil {
 		return nil, fmt.Errorf("ytcdn: %w", err)
@@ -192,6 +223,21 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 	playerCfg := cdn.DefaultConfig()
 	if opts.Player != nil {
 		playerCfg = *opts.Player
+	}
+
+	// Validate the scenario timeline before the store writer below
+	// touches disk: opening a store replaces existing shard files, so
+	// every option error must surface first.
+	if sw := opts.PolicySwitch; sw != nil {
+		if sw.To == nil {
+			return nil, fmt.Errorf("ytcdn: PolicySwitch.To must be set")
+		}
+		if err := core.ValidatePolicy(sw.To); err != nil {
+			return nil, fmt.Errorf("ytcdn: PolicySwitch: %w", err)
+		}
+		if sw.At < 0 || sw.At > opts.Span {
+			return nil, fmt.Errorf("ytcdn: PolicySwitch.At %v outside span %v", sw.At, opts.Span)
+		}
 	}
 
 	var eng des.Engine
@@ -228,6 +274,12 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 		gen.Schedule(&eng, sim.SubmitSession)
 	}
 
+	if sw := opts.PolicySwitch; sw != nil {
+		// Validated above (before the store writer), so the switch
+		// cannot fail mid-run.
+		eng.Schedule(sw.At, func() { _ = sel.SetPolicy(sw.To) })
+	}
+
 	eng.Run()
 
 	var store *tracestore.Reader
@@ -249,6 +301,7 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 		Span:        opts.Span,
 		Seed:        opts.Seed,
 		Parallelism: opts.Parallelism,
+		Selection:   sim.Metrics(),
 		mem:         mem,
 		store:       store,
 	}, nil
