@@ -42,6 +42,10 @@ func main() {
 		"selection policy for the run ("+strings.Join(ytcdn.PolicyNames(), ", ")+")")
 	comparePolicies := flag.Bool("compare-policies", false,
 		"run one study per built-in policy and print the ground-truth comparison table instead of the paper suite")
+	simShards := flag.Int("sim-shards", 1,
+		"simulation shards, one group of vantage points per engine (1 = sequential)")
+	syncWindow := flag.Duration("sync-window", 0,
+		"shard lockstep window (0 = exact k-way merge, bit-identical to sequential; >0 = concurrent with bounded load staleness)")
 	flag.Parse()
 
 	opts := ytcdn.Options{
@@ -49,6 +53,8 @@ func main() {
 		Span:        time.Duration(*days) * 24 * time.Hour,
 		Seed:        *seed,
 		Parallelism: *parallelism,
+		SimShards:   *simShards,
+		SyncWindow:  *syncWindow,
 	}
 	if *storeDir != "" {
 		opts.Store = &ytcdn.StoreOptions{Dir: *storeDir, SegmentRecords: *segment}
@@ -85,8 +91,12 @@ func main() {
 	if dir := study.StoreDir(); dir != "" {
 		where = "on disk at " + dir
 	}
-	fmt.Printf("# simulation: policy %s, scale %.3f, %d days, %d flows %s, %v (analysis parallelism %d)\n\n",
-		*policy, *scale, *days, study.TotalFlows(), where, time.Since(start).Round(time.Millisecond), *parallelism)
+	mode := "sequential sim"
+	if study.SimShards > 1 {
+		mode = fmt.Sprintf("%d sim shards, window %v", study.SimShards, *syncWindow)
+	}
+	fmt.Printf("# simulation: policy %s, scale %.3f, %d days, %d flows %s, %v (%s, analysis parallelism %d)\n\n",
+		*policy, *scale, *days, study.TotalFlows(), where, time.Since(start).Round(time.Millisecond), mode, *parallelism)
 
 	if err := study.Experiments().RunAll(os.Stdout); err != nil {
 		log.Fatal(err)

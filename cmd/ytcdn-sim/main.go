@@ -30,6 +30,10 @@ func main() {
 	out := flag.String("o", "traces.tsv", "output trace file")
 	policy := flag.String("policy", "paper",
 		"selection policy ("+strings.Join(ytcdn.PolicyNames(), ", ")+")")
+	simShards := flag.Int("sim-shards", 1,
+		"simulation shards, one group of vantage points per engine (1 = sequential)")
+	syncWindow := flag.Duration("sync-window", 0,
+		"shard lockstep window (0 = exact k-way merge, bit-identical to sequential; >0 = concurrent with bounded load staleness)")
 	flag.Parse()
 
 	pol, err := ytcdn.PolicyByName(*policy)
@@ -46,11 +50,13 @@ func main() {
 	ws := capture.NewWriterSink(f)
 	start := time.Now()
 	study, err := ytcdn.Run(ytcdn.Options{
-		Scale:     *scale,
-		Span:      time.Duration(*days) * 24 * time.Hour,
-		Seed:      *seed,
-		Policy:    pol,
-		ExtraSink: ws,
+		Scale:      *scale,
+		Span:       time.Duration(*days) * 24 * time.Hour,
+		Seed:       *seed,
+		Policy:     pol,
+		ExtraSink:  ws,
+		SimShards:  *simShards,
+		SyncWindow: *syncWindow,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -59,8 +65,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("simulated %d days at scale %.3f under policy %s in %v\n",
-		*days, *scale, *policy, time.Since(start).Round(time.Millisecond))
+	mode := "sequential"
+	if study.SimShards > 1 {
+		mode = fmt.Sprintf("%d shards, window %v", study.SimShards, *syncWindow)
+	}
+	fmt.Printf("simulated %d days at scale %.3f under policy %s (%s) in %v\n",
+		*days, *scale, *policy, mode, time.Since(start).Round(time.Millisecond))
 	for _, name := range ytcdn.DatasetNames() {
 		trace := study.Trace(name)
 		var bytes int64

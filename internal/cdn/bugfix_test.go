@@ -1,0 +1,202 @@
+package cdn
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/content"
+	"github.com/ytcdn-sim/ytcdn/internal/core"
+	"github.com/ytcdn-sim/ytcdn/internal/topology"
+)
+
+// bouncePolicy redirects every request to another data center: the
+// worst case for the redirect bound. It counts serve-or-redirect
+// consultations so tests can see whether the final hop of a capped
+// chain was asked to serve.
+type bouncePolicy struct {
+	consults int
+}
+
+func (p *bouncePolicy) Name() string { return "bounce" }
+
+func (p *bouncePolicy) ResolveDNS(v core.PolicyView, id topology.LDNSID, vid content.VideoID) topology.DataCenterID {
+	return v.Preferred(id)
+}
+
+func (p *bouncePolicy) ServeOrRedirect(v core.PolicyView, srv topology.ServerID, vid content.VideoID, id topology.LDNSID, home core.Home) core.Decision {
+	p.consults++
+	own := v.ServerDC(srv)
+	for i, n := 0, v.NumRanked(id); i < n; i++ {
+		if dc := v.RankedDC(id, i); dc != own {
+			return core.Decision{Redirected: true, Target: v.ServerForVideo(dc, vid), Reason: core.ReasonHotspot}
+		}
+	}
+	return core.Decision{}
+}
+
+// TestRedirectBoundForcesFinalServe is the regression test for the
+// chain-truncation bug: with MaxRedirects=1 a chain that exhausts the
+// bound must still consult ServeOrRedirect at the final hop (forced
+// serve, redirect suppressed). Previously the last redirect target
+// emitted the video without ever being asked, so a miss there was
+// never accounted and the flow could come from a DC not holding the
+// video.
+func TestRedirectBoundForcesFinalServe(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PreludeProb = 0
+	cfg.FollowUpProb = 0
+	bounce := &bouncePolicy{}
+	selCfg := core.Config{MaxRedirects: 1, Policy: bounce}
+	r := newRigSpan(t, cfg, selCfg, 0)
+
+	req := r.request(0, 10)
+	r.eng.Schedule(0, func() { r.sim.SubmitSession(req) })
+	r.eng.Run()
+
+	// One redirect followed (one control flow), then the forced serve:
+	// the policy must have been consulted twice — once for the hop
+	// that redirected, once at the bound.
+	if bounce.consults != 2 {
+		t.Errorf("policy consulted %d times, want 2 (redirect + forced final serve)", bounce.consults)
+	}
+	trace := r.sink.Trace(topology.DatasetUSCampus)
+	if len(trace) != 2 {
+		t.Fatalf("flows = %d, want control + video", len(trace))
+	}
+	if trace[0].Bytes >= 1000 || trace[1].Bytes < 1000 {
+		t.Errorf("flow sizes %d, %d: want control then video", trace[0].Bytes, trace[1].Bytes)
+	}
+	m := r.sim.Metrics()
+	if m.Chains != 1 || m.Redirects != 1 || m.MaxChain != 1 {
+		t.Errorf("metrics = %+v, want 1 chain with exactly 1 redirect", m)
+	}
+}
+
+// TestFinalHopMissAccounted pins the engine-level side of the fix: a
+// miss decision at the forced final hop still pulls the video through
+// and bumps the miss counter, because the serving DC has to fetch
+// content it does not hold.
+func TestFinalHopMissAccounted(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	us := r.w.VantagePoints[0]
+	home := core.HomeOf(us)
+	ldns := us.Subnets[0].LDNS
+	pref := r.sel.Preferred(ldns)
+
+	// Find a tail video whose origins exclude the preferred DC, so the
+	// preferred DC's server misses.
+	var video content.VideoID = -1
+	for cand := content.VideoID(800); cand < 2000; cand++ {
+		onPref := false
+		for _, o := range r.sel.PlacementOrigins(cand, home) {
+			if o == pref {
+				onPref = true
+			}
+		}
+		if !onPref {
+			video = cand
+			break
+		}
+	}
+	if video < 0 {
+		t.Fatal("no cold video found")
+	}
+	srv := r.sel.ServerForVideo(pref, video)
+
+	_, _, missesBefore := r.sel.Counters()
+	r.sel.ServeFinal(srv, video, ldns, home, nil)
+	_, _, missesAfter := r.sel.Counters()
+	if missesAfter != missesBefore+1 {
+		t.Errorf("misses %d -> %d, want +1 for the forced-serve miss", missesBefore, missesAfter)
+	}
+	// The pull-through happened: the DC now holds the video, so a
+	// second forced serve is a clean hit.
+	r.sel.ServeFinal(srv, video, ldns, home, nil)
+	if _, _, m := r.sel.Counters(); m != missesAfter {
+		t.Errorf("second forced serve missed again (misses %d -> %d); pull-through did not stick", missesAfter, m)
+	}
+}
+
+// TestNoFlowStartsAtOrAfterSpan is the regression test for the
+// capture-window overrun: follow-up interactions used to schedule
+// chains up to FollowUpGapMax past the span and the engine drained
+// them all, so captured traces extended beyond the configured week.
+// The probe must record no flow starting at or after span, while
+// in-flight flows still drain (their EndFlow load accounting runs).
+func TestNoFlowStartsAtOrAfterSpan(t *testing.T) {
+	const span = 30 * time.Minute
+	cfg := DefaultConfig()
+	cfg.FollowUpProb = 1.0 // every session tries to overrun
+	cfg.PreludeProb = 1.0
+	r := newRigSpan(t, cfg, core.DefaultConfig(), span)
+
+	// Sessions throughout the window, including right at the edge
+	// where prelude/redirect control cascades would spill past span.
+	for i := 0; i < 60; i++ {
+		i := i
+		at := time.Duration(i) * span / 60
+		r.eng.Schedule(at, func() {
+			r.sim.SubmitSession(r.request(i%5, content.VideoID(i)))
+		})
+	}
+	edge := span - time.Millisecond
+	r.eng.Schedule(edge, func() {
+		r.sim.SubmitSession(r.request(0, content.VideoID(1)))
+	})
+	r.eng.Run()
+
+	total := 0
+	for _, name := range topology.DatasetNames() {
+		for _, rec := range r.sink.Trace(name) {
+			total++
+			if rec.Start >= span {
+				t.Fatalf("%s: flow starts at %v, at/after span %v", name, rec.Start, span)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no flows captured at all")
+	}
+	// Sessions at span-ε have no room for a >= 12s follow-up gap: the
+	// follow-up chain is not admitted, so chains < 2×sessions.
+	m := r.sim.Metrics()
+	if m.Chains >= 2*r.sim.Sessions() {
+		t.Errorf("chains = %d with %d sessions: some follow-up chains must be refused at span", m.Chains, r.sim.Sessions())
+	}
+	// And the engine drained every in-flight flow: loads are zero.
+	for _, srv := range r.w.Servers {
+		if r.sel.ServerLoad(srv.ID) != 0 {
+			t.Fatalf("server %d load %d after drain", srv.ID, r.sel.ServerLoad(srv.ID))
+		}
+	}
+}
+
+// TestConfigValidation covers the previously-unvalidated player knobs:
+// inverted follow-up gap bounds fed Uniform backwards and silently
+// corrupted session timing; negative redirect gaps and startup delays
+// made time run backwards.
+func TestConfigValidation(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"inverted follow-up gaps", func(c *Config) {
+			c.FollowUpGapMin = 500 * time.Second
+			c.FollowUpGapMax = 10 * time.Second
+		}},
+		{"negative follow-up gap", func(c *Config) { c.FollowUpGapMin = -time.Second }},
+		{"negative redirect gap", func(c *Config) { c.RedirectGapMax = -time.Millisecond }},
+		{"negative startup delay", func(c *Config) { c.StartupDelay = -time.Second }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mutate(&cfg)
+		if _, err := NewSimulator(r.w, r.cat, r.sel, r.eng, r.sink, cfg, nil, 0); err == nil {
+			t.Errorf("%s: NewSimulator accepted invalid config", tc.name)
+		}
+	}
+	if _, err := NewSimulator(r.w, r.cat, r.sel, r.eng, r.sink, DefaultConfig(), nil, -time.Hour); err == nil {
+		t.Error("negative span: NewSimulator accepted invalid span")
+	}
+}

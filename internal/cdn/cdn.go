@@ -123,6 +123,20 @@ func (m SelectionMetrics) MeanServedRTTms() float64 {
 	return float64(m.SumServedRTT) / float64(m.Chains) / float64(time.Millisecond)
 }
 
+// Merge folds another simulator's metrics into m. Every field is a sum
+// or a max, so merging per-shard metrics yields the same totals no
+// matter how vantage points were grouped into shards.
+func (m *SelectionMetrics) Merge(o SelectionMetrics) {
+	m.Chains += o.Chains
+	m.ServedPreferred += o.ServedPreferred
+	m.Redirects += o.Redirects
+	if o.MaxChain > m.MaxChain {
+		m.MaxChain = o.MaxChain
+	}
+	m.SumServedRTT += o.SumServedRTT
+	m.RaceWins += o.RaceWins
+}
+
 // Request is one user-initiated video session.
 type Request struct {
 	VP     int // index into World.VantagePoints
@@ -133,7 +147,10 @@ type Request struct {
 }
 
 // Simulator executes sessions. It owns no clock of its own: callers
-// schedule SubmitSession on the shared des.Engine.
+// schedule SubmitSession on the shared des.Engine. A Simulator belongs
+// to exactly one engine (one shard of a sharded run): all of a vantage
+// point's sessions must go through the same simulator so that its
+// player RNG draws in a deterministic order.
 type Simulator struct {
 	w    *topology.World
 	cat  *content.Catalog
@@ -142,20 +159,26 @@ type Simulator struct {
 	sink capture.Sink
 	cfg  Config
 	g    *stats.RNG
+	// span is the capture window: no new chain is admitted at or after
+	// it and the probe records no flow starting at or after it (a real
+	// Tstat capture stops at teardown). Zero means unbounded.
+	span time.Duration
 
 	// vpEndpoints caches per-VP network endpoints.
 	vpEndpoints []netmodel.Endpoint
 	// homes caches per-VP origin parameters.
 	homes []core.Home
 
-	sessions int
-	flows    int
-	metrics  SelectionMetrics
+	sessions  int
+	flows     int
+	truncated int // flows dropped because they started at/after span
+	metrics   SelectionMetrics
 }
 
-// NewSimulator wires a simulator over a world.
+// NewSimulator wires a simulator over a world. span bounds the capture
+// window (see Simulator.span); zero means unbounded.
 func NewSimulator(w *topology.World, cat *content.Catalog, sel *core.Selector,
-	eng *des.Engine, sink capture.Sink, cfg Config, g *stats.RNG) (*Simulator, error) {
+	eng *des.Engine, sink capture.Sink, cfg Config, g *stats.RNG, span time.Duration) (*Simulator, error) {
 	if cfg.ControlBytesMax >= 1000 {
 		return nil, fmt.Errorf("cdn: ControlBytesMax %d crosses the 1000-byte video threshold", cfg.ControlBytesMax)
 	}
@@ -165,7 +188,19 @@ func NewSimulator(w *topology.World, cat *content.Catalog, sel *core.Selector,
 	if cfg.MinWatchFrac <= 0 || cfg.MinWatchFrac > 1 {
 		return nil, fmt.Errorf("cdn: MinWatchFrac %g out of (0, 1]", cfg.MinWatchFrac)
 	}
-	s := &Simulator{w: w, cat: cat, sel: sel, eng: eng, sink: sink, cfg: cfg, g: g}
+	if cfg.FollowUpGapMin < 0 || cfg.FollowUpGapMin > cfg.FollowUpGapMax {
+		return nil, fmt.Errorf("cdn: bad follow-up gap bounds [%v, %v]", cfg.FollowUpGapMin, cfg.FollowUpGapMax)
+	}
+	if cfg.RedirectGapMax < 0 {
+		return nil, fmt.Errorf("cdn: RedirectGapMax %v must be >= 0", cfg.RedirectGapMax)
+	}
+	if cfg.StartupDelay < 0 {
+		return nil, fmt.Errorf("cdn: StartupDelay %v must be >= 0", cfg.StartupDelay)
+	}
+	if span < 0 {
+		return nil, fmt.Errorf("cdn: span %v must be >= 0", span)
+	}
+	s := &Simulator{w: w, cat: cat, sel: sel, eng: eng, sink: sink, cfg: cfg, g: g, span: span}
 	for _, vp := range w.VantagePoints {
 		s.vpEndpoints = append(s.vpEndpoints, vp.Endpoint())
 		s.homes = append(s.homes, core.HomeOf(vp))
@@ -178,6 +213,10 @@ func (s *Simulator) Sessions() int { return s.sessions }
 
 // Flows returns the number of flows emitted so far.
 func (s *Simulator) Flows() int { return s.flows }
+
+// Truncated returns the number of flows the probe dropped because they
+// started at or after the capture window.
+func (s *Simulator) Truncated() int { return s.truncated }
 
 // Metrics returns the ground-truth selection outcomes accumulated so
 // far.
@@ -204,12 +243,20 @@ func (s *Simulator) SubmitSession(req Request) {
 
 	// User interaction: an extra, shorter video flow after a gap that
 	// exceeds T=1s (new session at small T, same session at large T).
+	// A follow-up landing at or after the capture window is not
+	// admitted: the capture has been torn down by then, and admitting
+	// it would extend the trace past the configured span (the gap can
+	// reach FollowUpGapMax past the last arrival). The gap is drawn
+	// either way so the session's RNG stream does not depend on where
+	// the session sits in the window.
 	if s.g.Bool(s.cfg.FollowUpProb) {
 		gap := time.Duration(s.g.Uniform(float64(s.cfg.FollowUpGapMin), float64(s.cfg.FollowUpGapMax)))
-		req := req
-		s.eng.ScheduleAfter(gap, func() {
-			s.runChain(req, s.eng.Now(), 0.3)
-		})
+		if s.span <= 0 || s.eng.Now()+gap < s.span {
+			req := req
+			s.eng.ScheduleAfter(gap, func() {
+				s.runChain(req, s.eng.Now(), 0.3)
+			})
+		}
 	}
 }
 
@@ -239,7 +286,17 @@ func (s *Simulator) runChain(req Request, start time.Duration, watchScale float6
 
 	hops := 0
 	maxHops := s.sel.MaxRedirects()
-	for hop := 0; hop < maxHops; hop++ {
+	for {
+		if hops == maxHops {
+			// The redirect bound is exhausted: the last redirect
+			// target serves no matter what. The policy is still
+			// consulted so a miss at this final hop keeps its
+			// pull-through and miss accounting — previously the video
+			// was emitted from a DC that might not hold it, with no
+			// accounting at all.
+			s.sel.ServeFinal(srv, req.Video, ldns, home, s.g)
+			break
+		}
 		d := s.sel.ServeOrRedirect(srv, req.Video, ldns, home, s.g)
 		if !d.Redirected {
 			break
@@ -368,6 +425,13 @@ func (s *Simulator) serverEndpoint(id topology.ServerID) netmodel.Endpoint {
 }
 
 func (s *Simulator) record(dataset string, rec capture.FlowRecord) {
+	// The probe is torn down at the end of the capture window: a flow
+	// starting at or after it is never logged (its load accounting
+	// still runs — the network does not stop with the capture).
+	if s.span > 0 && rec.Start >= s.span {
+		s.truncated++
+		return
+	}
 	s.flows++
 	s.sink.Record(dataset, rec)
 }

@@ -23,6 +23,10 @@ type rig struct {
 }
 
 func newRig(t *testing.T, cfg Config) *rig {
+	return newRigSpan(t, cfg, core.DefaultConfig(), 0)
+}
+
+func newRigSpan(t *testing.T, cfg Config, selCfg core.Config, span time.Duration) *rig {
 	t.Helper()
 	w, err := topology.BuildPaperWorld(topology.PaperConfig{
 		Scale:             0.001,
@@ -46,13 +50,13 @@ func newRig(t *testing.T, cfg Config) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sel, err := core.NewSelector(w, pl, core.DefaultConfig())
+	sel, err := core.NewSelector(w, pl, selCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	eng := &des.Engine{}
 	sink := capture.NewMemSink()
-	sim, err := NewSimulator(w, cat, sel, eng, sink, cfg, stats.NewRNG(5))
+	sim, err := NewSimulator(w, cat, sel, eng, sink, cfg, stats.NewRNG(5), span)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,17 +74,17 @@ func TestNewSimulatorValidation(t *testing.T) {
 	r := newRig(t, DefaultConfig())
 	bad := DefaultConfig()
 	bad.ControlBytesMax = 1500
-	if _, err := NewSimulator(r.w, r.cat, r.sel, r.eng, r.sink, bad, stats.NewRNG(1)); err == nil {
+	if _, err := NewSimulator(r.w, r.cat, r.sel, r.eng, r.sink, bad, stats.NewRNG(1), 0); err == nil {
 		t.Error("control bytes above threshold must be rejected")
 	}
 	bad = DefaultConfig()
 	bad.ControlBytesMin = 0
-	if _, err := NewSimulator(r.w, r.cat, r.sel, r.eng, r.sink, bad, stats.NewRNG(1)); err == nil {
+	if _, err := NewSimulator(r.w, r.cat, r.sel, r.eng, r.sink, bad, stats.NewRNG(1), 0); err == nil {
 		t.Error("zero ControlBytesMin must be rejected")
 	}
 	bad = DefaultConfig()
 	bad.MinWatchFrac = 0
-	if _, err := NewSimulator(r.w, r.cat, r.sel, r.eng, r.sink, bad, stats.NewRNG(1)); err == nil {
+	if _, err := NewSimulator(r.w, r.cat, r.sel, r.eng, r.sink, bad, stats.NewRNG(1), 0); err == nil {
 		t.Error("zero MinWatchFrac must be rejected")
 	}
 }

@@ -46,7 +46,7 @@ func newPolicyRig(t *testing.T, policy core.SelectionPolicy) *rig {
 	}
 	eng := &des.Engine{}
 	sink := capture.NewMemSink()
-	sim, err := NewSimulator(w, cat, sel, eng, sink, DefaultConfig(), stats.NewRNG(5))
+	sim, err := NewSimulator(w, cat, sel, eng, sink, DefaultConfig(), stats.NewRNG(5), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

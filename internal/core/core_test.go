@@ -361,8 +361,8 @@ func TestPlacementPullIdempotent(t *testing.T) {
 	dc := r.w.GoogleDCs()[0]
 	r.pl.Pull(dc, 500)
 	r.pl.Pull(dc, 500)
-	if r.pl.Pulls != 1 || r.pl.PulledCount() != 1 {
-		t.Errorf("Pulls = %d, PulledCount = %d, want 1,1", r.pl.Pulls, r.pl.PulledCount())
+	if r.pl.Pulls() != 1 || r.pl.PulledCount() != 1 {
+		t.Errorf("Pulls = %d, PulledCount = %d, want 1,1", r.pl.Pulls(), r.pl.PulledCount())
 	}
 }
 

@@ -1,40 +1,48 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // LoadTracker counts concurrent units (flows or sessions) per entity.
 // Acquire/Release must balance; the tracker panics on negative counts
 // because that always indicates a simulator bug that would corrupt
 // every load-dependent result downstream.
+//
+// Counters are atomic so that sharded simulations (one goroutine per
+// vantage-point shard, see des.ShardedRunner) can begin and end flows
+// concurrently. Reads are plain atomic loads: under windowed lockstep
+// a policy may observe a load that is stale by up to the sync window,
+// which is the documented staleness/throughput trade.
 type LoadTracker struct {
-	counts []int
+	counts []int64
 	label  string
 }
 
 // NewLoadTracker creates a tracker for n entities.
 func NewLoadTracker(label string, n int) *LoadTracker {
-	return &LoadTracker{counts: make([]int, n), label: label}
+	return &LoadTracker{counts: make([]int64, n), label: label}
 }
 
 // Acquire increments the load of entity i.
-func (lt *LoadTracker) Acquire(i int) { lt.counts[i]++ }
+func (lt *LoadTracker) Acquire(i int) { atomic.AddInt64(&lt.counts[i], 1) }
 
 // Release decrements the load of entity i.
 func (lt *LoadTracker) Release(i int) {
-	lt.counts[i]--
-	if lt.counts[i] < 0 {
+	if atomic.AddInt64(&lt.counts[i], -1) < 0 {
 		panic(fmt.Sprintf("core: %s load of entity %d went negative", lt.label, i))
 	}
 }
 
 // Load returns the current load of entity i.
-func (lt *LoadTracker) Load(i int) int { return lt.counts[i] }
+func (lt *LoadTracker) Load(i int) int { return int(atomic.LoadInt64(&lt.counts[i])) }
 
 // Total returns the summed load across entities.
 func (lt *LoadTracker) Total() int {
-	sum := 0
-	for _, c := range lt.counts {
-		sum += c
+	sum := int64(0)
+	for i := range lt.counts {
+		sum += atomic.LoadInt64(&lt.counts[i])
 	}
-	return sum
+	return int(sum)
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 
 	"github.com/ytcdn-sim/ytcdn/internal/content"
 	"github.com/ytcdn-sim/ytcdn/internal/geo"
@@ -64,23 +65,29 @@ type OriginPolicy struct {
 // Placement tracks which Google data centers hold which videos.
 // Replicated videos (below the catalog's tail rank) are everywhere;
 // tail videos start at CopiesPerVideo origin DCs and spread by
-// pull-through as they get requested. Placement is not safe for
-// concurrent use (the simulator is single-threaded).
+// pull-through as they get requested. Placement is safe for concurrent
+// use: the mutable state (pull-through set, forced origins, the pull
+// counter) sits behind a read/write mutex so that vantage-point shards
+// running on separate goroutines can look up and pull videos
+// concurrently.
 type Placement struct {
 	catalog *content.Catalog
 	policy  OriginPolicy
 	// dcsByContinent indexes Google-class DCs for origin selection.
 	dcsByContinent map[geo.Continent][]topology.DataCenterID
 	continents     []geo.Continent // deterministic iteration order
+
+	// mu guards pulled, forced and pulls — everything that mutates
+	// after construction.
+	mu sync.RWMutex
 	// pulled records (dc, video) pairs added by pull-through.
 	pulled map[pullKey]struct{}
 	// forced overrides the hashed origin set for specific videos
 	// (controlled experiments: a fresh upload lands where the ingest
 	// system put it).
 	forced map[content.VideoID][]topology.DataCenterID
-
-	// Pulls counts pull-through insertions (exposed for ablations).
-	Pulls int
+	// pulls counts pull-through insertions (exposed for ablations).
+	pulls int
 }
 
 type pullKey struct {
@@ -154,7 +161,10 @@ func (p *Placement) Origins(v content.VideoID, home geo.Continent, foreignProb f
 	if !p.catalog.IsTail(v) {
 		return nil
 	}
-	if dcs, ok := p.forced[v]; ok {
+	p.mu.RLock()
+	dcs, ok := p.forced[v]
+	p.mu.RUnlock()
+	if ok {
 		return dcs
 	}
 	cont := p.OriginContinent(v, home, foreignProb, weights)
@@ -186,7 +196,10 @@ func (p *Placement) Has(dc topology.DataCenterID, v content.VideoID, home geo.Co
 	if !p.catalog.IsTail(v) {
 		return true
 	}
-	if _, ok := p.pulled[pullKey{dc, v}]; ok {
+	p.mu.RLock()
+	_, ok := p.pulled[pullKey{dc, v}]
+	p.mu.RUnlock()
+	if ok {
 		return true
 	}
 	for _, o := range p.Origins(v, home, foreignProb, weights) {
@@ -201,22 +214,38 @@ func (p *Placement) Has(dc topology.DataCenterID, v content.VideoID, home geo.Co
 // Has calls return true for (dc, v).
 func (p *Placement) Pull(dc topology.DataCenterID, v content.VideoID) {
 	k := pullKey{dc, v}
+	p.mu.Lock()
 	if _, ok := p.pulled[k]; !ok {
 		p.pulled[k] = struct{}{}
-		p.Pulls++
+		p.pulls++
 	}
+	p.mu.Unlock()
+}
+
+// Pulls returns the number of pull-through insertions (exposed for
+// ablations).
+func (p *Placement) Pulls() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.pulls
 }
 
 // PulledCount returns the number of distinct (dc, video) pull-through
 // entries.
-func (p *Placement) PulledCount() int { return len(p.pulled) }
+func (p *Placement) PulledCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.pulled)
+}
 
 // ForceOrigins pins a tail video's origin set, overriding the hashed
 // assignment. Used by controlled experiments that upload a fresh video
 // to a known ingest location (paper §VII-C).
 func (p *Placement) ForceOrigins(v content.VideoID, dcs []topology.DataCenterID) {
+	p.mu.Lock()
 	if p.forced == nil {
 		p.forced = make(map[content.VideoID][]topology.DataCenterID)
 	}
 	p.forced[v] = dcs
+	p.mu.Unlock()
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"github.com/ytcdn-sim/ytcdn/internal/content"
 	"github.com/ytcdn-sim/ytcdn/internal/geo"
@@ -84,13 +85,19 @@ func (r RedirectReason) String() string {
 // (the per-LDNS preferred map and RTT ranking), the shared load
 // trackers, the placement layer (including pull-through on misses)
 // and the mechanism counters — and delegates every actual decision to
-// its SelectionPolicy through a restricted PolicyView. Not safe for
-// concurrent use.
+// its SelectionPolicy through a restricted PolicyView.
+//
+// The Selector is the one point where the otherwise-independent
+// vantage-point shards of a simulation couple, so it is safe for
+// concurrent use: load trackers and mechanism counters are atomic,
+// placement pull-through is mutex-guarded, and the active policy sits
+// behind an atomic pointer so a mid-run SetPolicy (scenario timelines)
+// cannot race in-flight decisions.
 type Selector struct {
 	w         *topology.World
 	placement *Placement
 	cfg       Config
-	policy    SelectionPolicy
+	policy    atomic.Pointer[SelectionPolicy]
 
 	// prefByLDNS is the ground-truth preferred DC per local DNS
 	// server: RTT-best unless overridden by assignment policy.
@@ -104,9 +111,9 @@ type Selector struct {
 
 	dcFlows  *LoadTracker // concurrent video flows per DC (DNS view)
 	srvSess  *LoadTracker // concurrent sessions per server
-	spills   int          // resolutions answered off-preferred
-	hotspots int          // hotspot redirect count
-	misses   int          // miss redirect count
+	spills   atomic.Int64 // resolutions answered off-preferred
+	hotspots atomic.Int64 // hotspot redirect count
+	misses   atomic.Int64 // miss redirect count
 }
 
 // NewSelector builds the engine for a world. The preferred map is
@@ -131,13 +138,13 @@ func NewSelector(w *topology.World, placement *Placement, cfg Config) (*Selector
 		w:          w,
 		placement:  placement,
 		cfg:        cfg,
-		policy:     policy,
 		prefByLDNS: make([]topology.DataCenterID, len(w.LDNSes)),
 		rankByLDNS: make([][]topology.DataCenterID, len(w.LDNSes)),
 		rankIndex:  make([][]int32, len(w.LDNSes)),
 		dcFlows:    NewLoadTracker("dc-flows", len(w.DataCenters)),
 		srvSess:    NewLoadTracker("server-sessions", len(w.Servers)),
 	}
+	s.policy.Store(&policy)
 	google := w.GoogleDCs()
 	for _, ldns := range w.LDNSes {
 		vp := w.VantagePoints[ldns.VantagePoint]
@@ -167,17 +174,19 @@ func NewSelector(w *topology.World, placement *Placement, cfg Config) (*Selector
 }
 
 // Policy returns the active selection policy.
-func (s *Selector) Policy() SelectionPolicy { return s.policy }
+func (s *Selector) Policy() SelectionPolicy { return *s.policy.Load() }
 
 // SetPolicy swaps the active selection policy, modelling the
 // assignment-policy change the paper observed between its 2010 capture
 // and the February 2011 follow-up. Load trackers, placement state and
-// mechanism counters carry over — only future decisions change.
+// mechanism counters carry over — only future decisions change. The
+// swap is atomic: decisions already holding the old policy finish
+// under it, later decisions see the new one.
 func (s *Selector) SetPolicy(p SelectionPolicy) error {
 	if err := ValidatePolicy(p); err != nil {
 		return err
 	}
-	s.policy = p
+	s.policy.Store(&p)
 	return nil
 }
 
@@ -216,9 +225,9 @@ func (s *Selector) serverFor(dc topology.DataCenterID, v content.VideoID) topolo
 // policy picks the data center; the engine maps it to the video's
 // hashed server and counts off-preferred answers as spills.
 func (s *Selector) ResolveDNS(id topology.LDNSID, v content.VideoID, g *stats.RNG) topology.ServerID {
-	dc := s.policy.ResolveDNS(s.view(g), id, v)
+	dc := s.Policy().ResolveDNS(s.view(g), id, v)
 	if dc != s.prefByLDNS[id] {
-		s.spills++
+		s.spills.Add(1)
 	}
 	return s.serverFor(dc, v)
 }
@@ -227,7 +236,7 @@ func (s *Selector) ResolveDNS(id topology.LDNSID, v content.VideoID, g *stats.RN
 // client-side racing, or nil when the active policy does not race.
 // The caller (the player) commits to a winner via CommitRace.
 func (s *Selector) RaceCandidates(id topology.LDNSID, v content.VideoID, g *stats.RNG) []topology.ServerID {
-	rp, ok := s.policy.(RacingPolicy)
+	rp, ok := s.Policy().(RacingPolicy)
 	if !ok {
 		return nil
 	}
@@ -239,7 +248,7 @@ func (s *Selector) RaceCandidates(id topology.LDNSID, v content.VideoID, g *stat
 // outside the requester's preferred DC counts as a spill.
 func (s *Selector) CommitRace(id topology.LDNSID, srv topology.ServerID) {
 	if s.w.Server(srv).DC != s.prefByLDNS[id] {
-		s.spills++
+		s.spills.Add(1)
 	}
 }
 
@@ -271,18 +280,35 @@ func HomeOf(vp *topology.VantagePoint) Home {
 // (the built-in policies draw nothing here, so nil is acceptable for
 // them).
 func (s *Selector) ServeOrRedirect(srv topology.ServerID, v content.VideoID, ldns topology.LDNSID, home Home, g *stats.RNG) Decision {
-	d := s.policy.ServeOrRedirect(s.view(g), srv, v, ldns, home)
+	d := s.Policy().ServeOrRedirect(s.view(g), srv, v, ldns, home)
 	if !d.Redirected {
 		return d
 	}
 	switch d.Reason {
 	case ReasonMiss:
 		s.placement.Pull(s.w.Server(srv).DC, v)
-		s.misses++
+		s.misses.Add(1)
 	case ReasonHotspot:
-		s.hotspots++
+		s.hotspots.Add(1)
 	}
 	return d
+}
+
+// ServeFinal models the forced serve at the end of a bounded redirect
+// chain: a client that has exhausted MaxRedirects is served by the
+// last redirect target no matter what. The policy is still consulted
+// so a content miss at the final hop keeps its real-world side effects
+// — the serving data center must fetch the video, so the engine pulls
+// it through and counts the miss — but the redirect itself is
+// suppressed. A hotspot decision at the bound needs no side effects
+// (nothing was redirected and serving requires no placement change),
+// so it is dropped without touching the hotspot counter.
+func (s *Selector) ServeFinal(srv topology.ServerID, v content.VideoID, ldns topology.LDNSID, home Home, g *stats.RNG) {
+	d := s.Policy().ServeOrRedirect(s.view(g), srv, v, ldns, home)
+	if d.Redirected && d.Reason == ReasonMiss {
+		s.placement.Pull(s.w.Server(srv).DC, v)
+		s.misses.Add(1)
+	}
 }
 
 // closestTo returns the candidate DC ranked best for the LDNS, via the
@@ -331,7 +357,7 @@ func (s *Selector) ServerLoad(srv topology.ServerID) int { return s.srvSess.Load
 // answers or race commitments, hotspot redirects, miss redirects) for
 // ablation studies and the policy-comparison harness.
 func (s *Selector) Counters() (spills, hotspots, misses int) {
-	return s.spills, s.hotspots, s.misses
+	return int(s.spills.Load()), int(s.hotspots.Load()), int(s.misses.Load())
 }
 
 // ServerForVideo exposes the within-DC consistent hash (used by the

@@ -10,8 +10,9 @@ import (
 )
 
 // Engine runs events in non-decreasing time order. The zero value is
-// ready to use. Engine is not safe for concurrent use; the simulator
-// is single-threaded by design so that runs are reproducible.
+// ready to use. An Engine is not safe for concurrent use: each engine
+// is driven by exactly one goroutine so that runs are reproducible.
+// Concurrency across engines is the ShardedRunner's job.
 type Engine struct {
 	queue eventHeap
 	now   time.Duration
@@ -53,6 +54,16 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// PeekTime returns the time of the earliest queued event, or false
+// when the queue is empty. The sharded runner's k-way merge uses it to
+// pick which shard steps next.
+func (e *Engine) PeekTime() (time.Duration, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
 // Schedule enqueues run at the given absolute simulated time. Events
 // scheduled in the past execute at the current time (the clock never
 // moves backwards).
@@ -92,6 +103,20 @@ func (e *Engine) Run() {
 // queued.
 func (e *Engine) RunUntil(deadline time.Duration) {
 	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunBefore executes events with time strictly before deadline,
+// advancing the clock to exactly deadline afterwards. It is the
+// window step of the sharded runner: events at the window boundary
+// belong to the next window, so a barrier at a boundary cleanly
+// separates the events before it from the events at or after it.
+func (e *Engine) RunBefore(deadline time.Duration) {
+	for len(e.queue) > 0 && e.queue[0].at < deadline {
 		e.Step()
 	}
 	if e.now < deadline {

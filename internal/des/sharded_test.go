@@ -1,0 +1,211 @@
+package des
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMergedOrderMatchesSingleEngine proves the window-0 guarantee at
+// the engine level: splitting an event population across shards and
+// merge-running them executes the union in exactly the order one
+// engine would, with equal-time events ordered by shard index (the
+// wiring order, which is the scheduling order on a single engine).
+func TestMergedOrderMatchesSingleEngine(t *testing.T) {
+	type ev struct {
+		src int
+		at  time.Duration
+	}
+	// Two sources with interleaved and colliding times.
+	times := [][]time.Duration{
+		{0, 10 * time.Second, 20 * time.Second, 20 * time.Second, 35 * time.Second},
+		{0, 5 * time.Second, 20 * time.Second, 40 * time.Second},
+	}
+
+	var single Engine
+	var want []ev
+	for src, ts := range times { // wiring order: source 0 first
+		src, ts := src, ts
+		for _, at := range ts {
+			at := at
+			single.Schedule(at, func() { want = append(want, ev{src, at}) })
+		}
+	}
+	single.Run()
+
+	shards := []*Engine{{}, {}}
+	var got []ev
+	for src, ts := range times {
+		src := src
+		for _, at := range ts {
+			at := at
+			shards[src].Schedule(at, func() { got = append(got, ev{src, at}) })
+		}
+	}
+	r, err := NewShardedRunner(0, shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run()
+
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merged order:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestMergedBarrierOrdering pins barrier semantics under window 0: a
+// barrier at T runs after every event strictly before T and before any
+// event at or after T; trailing barriers still run.
+func TestMergedBarrierOrdering(t *testing.T) {
+	shards := []*Engine{{}, {}}
+	var log []string
+	shards[0].Schedule(1*time.Second, func() { log = append(log, "a@1") })
+	shards[1].Schedule(2*time.Second, func() { log = append(log, "b@2") })
+	shards[0].Schedule(2*time.Second, func() { log = append(log, "a@2") })
+	shards[1].Schedule(3*time.Second, func() { log = append(log, "b@3") })
+
+	r, err := NewShardedRunner(0, shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AddBarrier(2*time.Second, func() { log = append(log, "bar@2") })
+	r.AddBarrier(10*time.Second, func() { log = append(log, "bar@10") })
+	r.Run()
+
+	want := []string{"a@1", "bar@2", "a@2", "b@2", "b@3", "bar@10"}
+	if !reflect.DeepEqual(log, want) {
+		t.Errorf("log = %v, want %v", log, want)
+	}
+}
+
+// TestWindowedLockstep checks windowed mode executes every event
+// exactly once and keeps each shard's own events in time order.
+// Cross-shard order inside a window is unspecified.
+func TestWindowedLockstep(t *testing.T) {
+	const window = 10 * time.Second
+	shards := []*Engine{{}, {}, {}}
+	var mu sync.Mutex
+	executed := make(map[int][]time.Duration)
+
+	total := 0
+	for s, e := range shards {
+		s, e := s, e
+		for i := 0; i < 50; i++ {
+			at := time.Duration(i*(s+2)) * time.Second / 2
+			total++
+			e.Schedule(at, func() {
+				mu.Lock()
+				executed[s] = append(executed[s], at)
+				mu.Unlock()
+			})
+		}
+	}
+
+	r, err := NewShardedRunner(window, shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run()
+
+	ran := 0
+	for s, ts := range executed {
+		ran += len(ts)
+		for i := 1; i < len(ts); i++ {
+			if ts[i] < ts[i-1] {
+				t.Errorf("shard %d executed out of order: %v before %v", s, ts[i-1], ts[i])
+			}
+		}
+	}
+	if ran != total {
+		t.Errorf("executed %d events, want %d", ran, total)
+	}
+}
+
+// TestWindowedBarrier checks that a barrier in windowed mode runs with
+// every shard parked exactly at the barrier time: no event before it
+// is pending, no event at or after it has run.
+func TestWindowedBarrier(t *testing.T) {
+	shards := []*Engine{{}, {}}
+	var mu sync.Mutex
+	var before, after int
+	for _, e := range shards {
+		e := e
+		for i := 0; i < 20; i++ {
+			at := time.Duration(i) * 7 * time.Second
+			e.Schedule(at, func() {
+				mu.Lock()
+				if at < 60*time.Second {
+					before++
+				} else {
+					after++
+				}
+				mu.Unlock()
+			})
+		}
+	}
+	r, err := NewShardedRunner(13*time.Second, shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seenBefore, seenAfter int
+	r.AddBarrier(60*time.Second, func() {
+		mu.Lock()
+		seenBefore, seenAfter = before, after
+		mu.Unlock()
+		for i, e := range shards {
+			if e.Now() != 60*time.Second {
+				t.Errorf("shard %d clock at barrier = %v, want 60s", i, e.Now())
+			}
+		}
+	})
+	r.Run()
+
+	if seenBefore != 2*9 { // events at 0,7,...,56 per shard
+		t.Errorf("events before barrier when it ran = %d, want 18", seenBefore)
+	}
+	if seenAfter != 0 {
+		t.Errorf("events at/after barrier already run = %d, want 0", seenAfter)
+	}
+}
+
+// TestBarrierInEventGap pins the clock invariant when a barrier falls
+// inside an event gap longer than the window (and after the last
+// event): every shard must still park exactly at the barrier time
+// before the action runs, in both windowed and merged modes.
+func TestBarrierInEventGap(t *testing.T) {
+	for _, window := range []time.Duration{0, 10 * time.Second} {
+		shards := []*Engine{{}, {}}
+		for _, e := range shards {
+			e := e
+			e.Schedule(0, func() {})
+			e.Schedule(100*time.Second, func() {})
+		}
+		r, err := NewShardedRunner(window, shards...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(at time.Duration) func() {
+			return func() {
+				for i, e := range shards {
+					if e.Now() != at {
+						t.Errorf("window %v: shard %d clock at %v-barrier = %v", window, i, at, e.Now())
+					}
+				}
+			}
+		}
+		r.AddBarrier(50*time.Second, check(50*time.Second))   // mid-gap
+		r.AddBarrier(200*time.Second, check(200*time.Second)) // past the last event
+		r.Run()
+	}
+}
+
+// TestShardedRunnerValidation rejects bad construction.
+func TestShardedRunnerValidation(t *testing.T) {
+	if _, err := NewShardedRunner(0); err == nil {
+		t.Error("no shards must be rejected")
+	}
+	if _, err := NewShardedRunner(-time.Second, &Engine{}); err == nil {
+		t.Error("negative window must be rejected")
+	}
+}

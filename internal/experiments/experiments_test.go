@@ -43,7 +43,7 @@ func buildInput(t *testing.T) Input {
 	var eng des.Engine
 	sink := capture.NewMemSink()
 	root := stats.NewRNG(seed)
-	sim, err := cdn.NewSimulator(w, cat, sel, &eng, sink, cdn.DefaultConfig(), root.Fork("player"))
+	sim, err := cdn.NewSimulator(w, cat, sel, &eng, sink, cdn.DefaultConfig(), root.Fork("player"), span)
 	if err != nil {
 		t.Fatal(err)
 	}

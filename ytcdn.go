@@ -90,16 +90,35 @@ type Options struct {
 	Store *StoreOptions
 	// ExtraSink, when non-nil, additionally receives every flow record
 	// as it is emitted (e.g. a capture.WriterSink streaming to disk).
-	// When the same sink is shared by concurrent studies (RunMany), it
-	// must be safe for concurrent use.
+	// It must be safe for concurrent use when the same sink is shared
+	// by concurrent studies (RunMany) and when a single study runs
+	// windowed shards (SimShards > 1 with SyncWindow > 0), where shard
+	// goroutines record concurrently.
 	ExtraSink capture.Sink
 	// Parallelism bounds the worker pool of the analysis harness
 	// returned by Study.Experiments (per-server CBG geolocation, the
 	// per-VP ping campaigns, the per-dataset pipelines). 1 means
 	// strictly sequential; 0 or negative means one worker per core.
-	// The computed tables and figures are bit-identical either way;
-	// the simulation itself is single-threaded by design.
+	// The computed tables and figures are bit-identical either way.
 	Parallelism int
+	// SimShards splits the simulation itself across engines, one group
+	// of vantage points per shard (the five monitored networks couple
+	// only through the selection engine, which is concurrency-safe).
+	// 0 or 1 means one engine for all vantage points; values above the
+	// number of vantage points are clamped. With SyncWindow == 0 the
+	// sharded run is bit-identical to the unsharded one at any shard
+	// count; pair it with a positive SyncWindow for wall-clock speedup.
+	SimShards int
+	// SyncWindow bounds how far one simulation shard may run ahead of
+	// another (see des.ShardedRunner). 0 — the default — is the exact
+	// mode: shards advance through a sequential k-way merge that is
+	// bit-identical to a single engine. A positive window runs shards
+	// concurrently in lockstep windows of that length: policies may
+	// observe DC/server loads that are stale by up to the window,
+	// which perturbs individual redirect decisions slightly (aggregate
+	// tables stay within tolerance) in exchange for near-linear
+	// speedup. Ignored unless SimShards > 1.
+	SyncWindow time.Duration
 }
 
 // PolicySwitch schedules a mid-run selection-policy change.
@@ -137,8 +156,16 @@ type Study struct {
 
 	// Selection holds the ground-truth selection outcomes of the run
 	// (preferred-DC fraction, served RTT, redirect-chain lengths) —
-	// what ComparePolicies tabulates per policy.
+	// what ComparePolicies tabulates per policy. For sharded runs it
+	// is the merge of the per-shard metrics.
 	Selection cdn.SelectionMetrics
+	// Sessions is the number of sessions executed across all vantage
+	// points.
+	Sessions int
+	// SimShards is the effective shard count the simulation ran with
+	// (Options.SimShards after defaulting and clamping to the number
+	// of vantage points).
+	SimShards int
 
 	mem   *capture.MemSink   // in-memory capture (nil when store-backed)
 	store *tracestore.Reader // disk-backed capture (nil when in-memory)
@@ -240,7 +267,21 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 		}
 	}
 
-	var eng des.Engine
+	if opts.SyncWindow < 0 {
+		return nil, fmt.Errorf("ytcdn: SyncWindow %v must be >= 0", opts.SyncWindow)
+	}
+	shardCount := opts.SimShards
+	if shardCount < 1 {
+		shardCount = 1
+	}
+	if n := len(w.VantagePoints); shardCount > n {
+		shardCount = n
+	}
+	syncWindow := opts.SyncWindow
+	if shardCount == 1 {
+		syncWindow = 0 // a single shard is already exact
+	}
+
 	var mem *capture.MemSink
 	var writer *tracestore.Writer
 	var sink capture.Sink
@@ -260,27 +301,53 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 		sink = capture.NewTeeSink(sink, opts.ExtraSink)
 	}
 
+	// One engine per shard, one simulator per vantage point. Each
+	// vantage point draws from its own "player-<name>" RNG stream, so
+	// its draw order depends only on its own event sequence — which is
+	// what makes any shard count with SyncWindow == 0 bit-identical to
+	// the single-engine run. Vantage points are assigned round-robin
+	// (VP i → shard i mod SimShards).
 	root := stats.NewRNG(opts.Seed)
-	sim, err := cdn.NewSimulator(w, cat, sel, &eng, sink, playerCfg, root.Fork("player"))
-	if err != nil {
-		return nil, fmt.Errorf("ytcdn: %w", err)
+	engines := make([]*des.Engine, shardCount)
+	for i := range engines {
+		engines[i] = &des.Engine{}
 	}
-
+	sims := make([]*cdn.Simulator, len(w.VantagePoints))
 	for i := range w.VantagePoints {
-		gen, err := workload.NewGenerator(w, i, cat, opts.Span, root.Fork("workload-"+w.VantagePoints[i].Name))
+		name := w.VantagePoints[i].Name
+		eng := engines[i%shardCount]
+		sim, err := cdn.NewSimulator(w, cat, sel, eng, sink, playerCfg, root.Fork("player-"+name), opts.Span)
 		if err != nil {
 			return nil, fmt.Errorf("ytcdn: %w", err)
 		}
-		gen.Schedule(&eng, sim.SubmitSession)
+		sims[i] = sim
+		gen, err := workload.NewGenerator(w, i, cat, opts.Span, root.Fork("workload-"+name))
+		if err != nil {
+			return nil, fmt.Errorf("ytcdn: %w", err)
+		}
+		gen.Schedule(eng, sim.SubmitSession)
 	}
 
+	runner, err := des.NewShardedRunner(syncWindow, engines...)
+	if err != nil {
+		return nil, fmt.Errorf("ytcdn: %w", err)
+	}
 	if sw := opts.PolicySwitch; sw != nil {
 		// Validated above (before the store writer), so the switch
-		// cannot fail mid-run.
-		eng.Schedule(sw.At, func() { _ = sel.SetPolicy(sw.To) })
+		// cannot fail mid-run. As a runner barrier it fires with every
+		// shard parked exactly at sw.At, so no shard can observe the
+		// new policy before another has finished the old window.
+		runner.AddBarrier(sw.At, func() { _ = sel.SetPolicy(sw.To) })
 	}
 
-	eng.Run()
+	runner.Run()
+
+	var selection cdn.SelectionMetrics
+	sessions := 0
+	for _, sim := range sims {
+		selection.Merge(sim.Metrics())
+		sessions += sim.Sessions()
+	}
 
 	var store *tracestore.Reader
 	if writer != nil {
@@ -301,7 +368,9 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 		Span:        opts.Span,
 		Seed:        opts.Seed,
 		Parallelism: opts.Parallelism,
-		Selection:   sim.Metrics(),
+		Selection:   selection,
+		Sessions:    sessions,
+		SimShards:   shardCount,
 		mem:         mem,
 		store:       store,
 	}, nil
