@@ -43,7 +43,9 @@ func main() {
 	comparePolicies := flag.Bool("compare-policies", false,
 		"run one study per built-in policy and print the ground-truth comparison table instead of the paper suite")
 	simShards := flag.Int("sim-shards", 1,
-		"simulation shards, one group of vantage points per engine (1 = sequential)")
+		"simulation shards, one group of sharding units per engine (1 = sequential)")
+	shardBy := flag.String("shard-by", "vp",
+		"sharding unit: vp (whole vantage points) or subnet (sub-VP buckets, spreads one heavy network across engines)")
 	syncWindow := flag.Duration("sync-window", 0,
 		"shard lockstep window (0 = exact k-way merge, bit-identical to sequential; >0 = concurrent with bounded load staleness)")
 	flag.Parse()
@@ -54,6 +56,7 @@ func main() {
 		Seed:        *seed,
 		Parallelism: *parallelism,
 		SimShards:   *simShards,
+		ShardBy:     ytcdn.ShardBy(*shardBy),
 		SyncWindow:  *syncWindow,
 	}
 	if *storeDir != "" {
@@ -93,7 +96,7 @@ func main() {
 	}
 	mode := "sequential sim"
 	if study.SimShards > 1 {
-		mode = fmt.Sprintf("%d sim shards, window %v", study.SimShards, *syncWindow)
+		mode = fmt.Sprintf("%d sim %s-shards, window %v", study.SimShards, *shardBy, *syncWindow)
 	}
 	fmt.Printf("# simulation: policy %s, scale %.3f, %d days, %d flows %s, %v (%s, analysis parallelism %d)\n\n",
 		*policy, *scale, *days, study.TotalFlows(), where, time.Since(start).Round(time.Millisecond), mode, *parallelism)

@@ -31,7 +31,9 @@ func main() {
 	policy := flag.String("policy", "paper",
 		"selection policy ("+strings.Join(ytcdn.PolicyNames(), ", ")+")")
 	simShards := flag.Int("sim-shards", 1,
-		"simulation shards, one group of vantage points per engine (1 = sequential)")
+		"simulation shards, one group of sharding units per engine (1 = sequential)")
+	shardBy := flag.String("shard-by", "vp",
+		"sharding unit: vp (whole vantage points) or subnet (sub-VP buckets, spreads one heavy network across engines)")
 	syncWindow := flag.Duration("sync-window", 0,
 		"shard lockstep window (0 = exact k-way merge, bit-identical to sequential; >0 = concurrent with bounded load staleness)")
 	flag.Parse()
@@ -56,6 +58,7 @@ func main() {
 		Policy:     pol,
 		ExtraSink:  ws,
 		SimShards:  *simShards,
+		ShardBy:    ytcdn.ShardBy(*shardBy),
 		SyncWindow: *syncWindow,
 	})
 	if err != nil {
@@ -67,7 +70,7 @@ func main() {
 
 	mode := "sequential"
 	if study.SimShards > 1 {
-		mode = fmt.Sprintf("%d shards, window %v", study.SimShards, *syncWindow)
+		mode = fmt.Sprintf("%d %s-shards, window %v", study.SimShards, *shardBy, *syncWindow)
 	}
 	fmt.Printf("simulated %d days at scale %.3f under policy %s (%s) in %v\n",
 		*days, *scale, *policy, mode, time.Since(start).Round(time.Millisecond))

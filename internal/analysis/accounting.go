@@ -101,24 +101,27 @@ func GoogleFilter(recs []capture.FlowRecord, reg *asdb.Registry, clientAS asdb.A
 	return out
 }
 
-// GoogleFilterIter is the streaming GoogleFilter: it materializes only
-// the filtered subset, so a disk-backed trace is never held in full.
+// GoogleFilterIter is the materializing GoogleFilter over a stream: it
+// retains only the filtered subset. Consumers that can aggregate on the
+// fly should wrap the stream with GoogleIter instead and keep nothing.
 func GoogleFilterIter(it capture.Iterator, reg *asdb.Registry, clientAS asdb.ASN) ([]capture.FlowRecord, error) {
-	var out []capture.FlowRecord
-	for {
-		r, ok := it.Next()
-		if !ok {
-			break
-		}
+	return capture.Collect(GoogleIter(it, reg, clientAS))
+}
+
+// GoogleIter applies the §IV Google filter lazily: the returned
+// iterator yields exactly the records GoogleFilter would keep, one
+// upstream record at a time, so nothing is materialized.
+func GoogleIter(it capture.Iterator, reg *asdb.Registry, clientAS asdb.ASN) capture.Iterator {
+	return capture.FilterIter(it, func(r capture.FlowRecord) bool {
 		as, ok := reg.Lookup(r.Server)
-		if !ok {
-			continue
-		}
-		if as.Number == asdb.ASGoogle || as.Number == clientAS {
-			out = append(out, r)
-		}
-	}
-	return out, it.Err()
+		return ok && (as.Number == asdb.ASGoogle || as.Number == clientAS)
+	})
+}
+
+// VideoIter narrows a stream to video flows (the ≥1000-byte side of
+// the paper's classification cut), lazily.
+func VideoIter(it capture.Iterator) capture.Iterator {
+	return capture.FilterIter(it, IsVideoFlow)
 }
 
 // ContinentCounts is one Table III row: distinct servers per continent
@@ -133,13 +136,24 @@ type ContinentCounts struct {
 // its estimated location (Table III).
 func CountServersByContinent(recs []capture.FlowRecord, locs map[ipnet.Addr]geo.Point) ContinentCounts {
 	seen := make(map[ipnet.Addr]struct{})
-	var out ContinentCounts
+	var addrs []ipnet.Addr
 	for _, r := range recs {
 		if _, ok := seen[r.Server]; ok {
 			continue
 		}
 		seen[r.Server] = struct{}{}
-		loc, ok := locs[r.Server]
+		addrs = append(addrs, r.Server)
+	}
+	return CountAddrsByContinent(addrs, locs)
+}
+
+// CountAddrsByContinent is CountServersByContinent over an
+// already-deduplicated address set — the shape the streaming harness
+// caches (distinct servers are bounded; the trace is not).
+func CountAddrsByContinent(addrs []ipnet.Addr, locs map[ipnet.Addr]geo.Point) ContinentCounts {
+	var out ContinentCounts
+	for _, a := range addrs {
+		loc, ok := locs[a]
 		if !ok {
 			continue
 		}

@@ -39,34 +39,106 @@ type TwoFlowBreakdown struct {
 
 // BreakdownSessions computes Figs 10a/10b for a session list.
 func BreakdownSessions(sessions []Session, m *DCMap, preferred int) (SingleFlowBreakdown, TwoFlowBreakdown) {
-	var one SingleFlowBreakdown
-	var two TwoFlowBreakdown
-	if len(sessions) == 0 {
-		return one, two
-	}
-	n := float64(len(sessions))
+	tally := NewSessionTally(0)
 	for _, s := range sessions {
-		mask := PrefMask(s, m, preferred)
-		switch len(s.Flows) {
-		case 1:
-			if mask[0] {
-				one.Preferred += 1 / n
-			} else {
-				one.NonPreferred += 1 / n
-			}
-		case 2:
-			switch {
-			case mask[0] && mask[1]:
-				two.PrefPref += 1 / n
-			case mask[0] && !mask[1]:
-				two.PrefNonPref += 1 / n
-			case !mask[0] && mask[1]:
-				two.NonPrefPref += 1 / n
-			default:
-				two.NonPrefNonPref += 1 / n
-			}
+		tally.Add(s, m, preferred)
+	}
+	return tally.Breakdown()
+}
+
+// SessionTally accumulates the per-session aggregates that previously
+// required a materialized []Session: the flows-per-session histogram
+// (Figs 5/6) and the 1-/2-flow preferred-pattern breakdown (Fig 10).
+// Feed it one session at a time — e.g. as the emit callback of
+// StreamSessions — so a trace's sessions never need to exist at once.
+// All internal state is integer counts, making the results independent
+// of the order sessions are added in (stream emission order differs
+// between storage backends).
+type SessionTally struct {
+	n    int
+	hist []int // flows-per-session counts; last bucket aggregates the tail
+	one  [2]int
+	two  [4]int
+}
+
+// NewSessionTally sizes the histogram (maxBucket <= 0 disables it;
+// the breakdown is always tallied). m may be nil in Add when only the
+// histogram is wanted.
+func NewSessionTally(maxBucket int) *SessionTally {
+	t := &SessionTally{}
+	if maxBucket > 0 {
+		t.hist = make([]int, maxBucket)
+	}
+	return t
+}
+
+// Add tallies one session. m may be nil when the caller only needs the
+// histogram (the preferred-pattern breakdown is skipped).
+func (t *SessionTally) Add(s Session, m *DCMap, preferred int) {
+	t.n++
+	if t.hist != nil {
+		n := len(s.Flows)
+		if n > len(t.hist) {
+			n = len(t.hist)
+		}
+		t.hist[n-1]++
+	}
+	if m == nil {
+		return
+	}
+	mask := PrefMask(s, m, preferred)
+	switch len(s.Flows) {
+	case 1:
+		if mask[0] {
+			t.one[0]++
+		} else {
+			t.one[1]++
+		}
+	case 2:
+		switch {
+		case mask[0] && mask[1]:
+			t.two[0]++
+		case mask[0] && !mask[1]:
+			t.two[1]++
+		case !mask[0] && mask[1]:
+			t.two[2]++
+		default:
+			t.two[3]++
 		}
 	}
+}
+
+// Sessions returns how many sessions were tallied.
+func (t *SessionTally) Sessions() int { return t.n }
+
+// Histogram returns the flows-per-session fractions (FlowsPerSession-
+// Histogram's shape): index i is the fraction of sessions with i+1
+// flows, the last bucket aggregating everything at or beyond it.
+func (t *SessionTally) Histogram() []float64 {
+	out := make([]float64, len(t.hist))
+	if t.n == 0 {
+		return out
+	}
+	for i, c := range t.hist {
+		out[i] = float64(c) / float64(t.n)
+	}
+	return out
+}
+
+// Breakdown returns the Fig 10a/10b fractions.
+func (t *SessionTally) Breakdown() (SingleFlowBreakdown, TwoFlowBreakdown) {
+	var one SingleFlowBreakdown
+	var two TwoFlowBreakdown
+	if t.n == 0 {
+		return one, two
+	}
+	n := float64(t.n)
+	one.Preferred = float64(t.one[0]) / n
+	one.NonPreferred = float64(t.one[1]) / n
+	two.PrefPref = float64(t.two[0]) / n
+	two.PrefNonPref = float64(t.two[1]) / n
+	two.NonPrefPref = float64(t.two[2]) / n
+	two.NonPrefNonPref = float64(t.two[3]) / n
 	return one, two
 }
 
@@ -76,12 +148,23 @@ func BreakdownSessions(sessions []Session, m *DCMap, preferred int) (SingleFlowB
 // filter. It returns the per-bin fractions (only bins with traffic)
 // plus the total and non-preferred hourly counts.
 func HourlyNonPreferred(videoFlows []capture.FlowRecord, m *DCMap, preferred int, span time.Duration) (fracs []float64, all, nonPref *stats.TimeBins) {
+	fracs, all, nonPref, _ = HourlyNonPreferredIter(capture.IterSlice(videoFlows), m, preferred, span)
+	return fracs, all, nonPref
+}
+
+// HourlyNonPreferredIter is the streaming HourlyNonPreferred: one pass
+// over the iterator, memory bounded by the hourly bins.
+func HourlyNonPreferredIter(it capture.Iterator, m *DCMap, preferred int, span time.Duration) (fracs []float64, all, nonPref *stats.TimeBins, err error) {
 	if span < time.Hour {
 		span = time.Hour
 	}
 	all = stats.NewTimeBins(span, time.Hour)
 	nonPref = stats.NewTimeBins(span, time.Hour)
-	for _, r := range videoFlows {
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
 		dc, ok := m.DCOf(r.Server)
 		if !ok {
 			continue
@@ -97,7 +180,7 @@ func HourlyNonPreferred(videoFlows []capture.FlowRecord, m *DCMap, preferred int
 			fracs = append(fracs, v)
 		}
 	}
-	return fracs, all, nonPref
+	return fracs, all, nonPref, it.Err()
 }
 
 // SubnetShare is one bar pair of Fig 12.
@@ -119,10 +202,21 @@ type NamedPrefix struct {
 // BySubnet attributes video flows and non-preferred video flows to
 // client subnets (Fig 12).
 func BySubnet(videoFlows []capture.FlowRecord, m *DCMap, preferred int, subnets []NamedPrefix) []SubnetShare {
+	out, _ := BySubnetIter(capture.IterSlice(videoFlows), m, preferred, subnets)
+	return out
+}
+
+// BySubnetIter is the streaming BySubnet: one pass, memory bounded by
+// the subnet list.
+func BySubnetIter(it capture.Iterator, m *DCMap, preferred int, subnets []NamedPrefix) ([]SubnetShare, error) {
 	all := make([]float64, len(subnets))
 	nonPref := make([]float64, len(subnets))
 	var totAll, totNon float64
-	for _, r := range videoFlows {
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
 		dc, ok := m.DCOf(r.Server)
 		if !ok {
 			continue
@@ -154,7 +248,7 @@ func BySubnet(videoFlows []capture.FlowRecord, m *DCMap, preferred int, subnets 
 			out[i].NonPrefFrac = nonPref[i] / totNon
 		}
 	}
-	return out
+	return out, it.Err()
 }
 
 // VideoNonPrefCount pairs a video with how many of its video flows
@@ -170,9 +264,20 @@ type VideoNonPrefCount struct {
 // Fig 14). Only videos with at least one non-preferred access are
 // returned, sorted by decreasing count then VideoID.
 func NonPreferredPerVideo(videoFlows []capture.FlowRecord, m *DCMap, preferred int) []VideoNonPrefCount {
+	out, _ := NonPreferredPerVideoIter(capture.IterSlice(videoFlows), m, preferred)
+	return out
+}
+
+// NonPreferredPerVideoIter is the streaming NonPreferredPerVideo: one
+// pass, memory bounded by the distinct-video set.
+func NonPreferredPerVideoIter(it capture.Iterator, m *DCMap, preferred int) ([]VideoNonPrefCount, error) {
 	nonPref := make(map[string]int)
 	total := make(map[string]int)
-	for _, r := range videoFlows {
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
 		dc, ok := m.DCOf(r.Server)
 		if !ok {
 			continue
@@ -192,18 +297,28 @@ func NonPreferredPerVideo(videoFlows []capture.FlowRecord, m *DCMap, preferred i
 		}
 		return out[i].VideoID < out[j].VideoID
 	})
-	return out
+	return out, it.Err()
 }
 
 // VideoHourlySeries returns the hourly request series of one video:
 // all accesses and non-preferred accesses (one panel of Fig 14).
 func VideoHourlySeries(videoFlows []capture.FlowRecord, m *DCMap, preferred int, videoID string, span time.Duration) (all, nonPref *stats.TimeBins) {
+	all, nonPref, _ = VideoHourlySeriesIter(capture.IterSlice(videoFlows), m, preferred, videoID, span)
+	return all, nonPref
+}
+
+// VideoHourlySeriesIter is the streaming VideoHourlySeries.
+func VideoHourlySeriesIter(it capture.Iterator, m *DCMap, preferred int, videoID string, span time.Duration) (all, nonPref *stats.TimeBins, err error) {
 	if span < time.Hour {
 		span = time.Hour
 	}
 	all = stats.NewTimeBins(span, time.Hour)
 	nonPref = stats.NewTimeBins(span, time.Hour)
-	for _, r := range videoFlows {
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
 		if r.VideoID != videoID {
 			continue
 		}
@@ -216,13 +331,20 @@ func VideoHourlySeries(videoFlows []capture.FlowRecord, m *DCMap, preferred int,
 			nonPref.Incr(r.Start)
 		}
 	}
-	return all, nonPref
+	return all, nonPref, it.Err()
 }
 
 // ServerLoadStats returns, per hour, the average and maximum number of
 // video flows handled by servers of the preferred data center
 // (Fig 15).
 func ServerLoadStats(videoFlows []capture.FlowRecord, m *DCMap, preferred int, span time.Duration) (avg, max []float64) {
+	avg, max, _ = ServerLoadStatsIter(capture.IterSlice(videoFlows), m, preferred, span)
+	return avg, max
+}
+
+// ServerLoadStatsIter is the streaming ServerLoadStats: memory is
+// bounded by (preferred-DC servers × hourly bins).
+func ServerLoadStatsIter(it capture.Iterator, m *DCMap, preferred int, span time.Duration) (avg, max []float64, err error) {
 	if span < time.Hour {
 		span = time.Hour
 	}
@@ -232,7 +354,11 @@ func ServerLoadStats(videoFlows []capture.FlowRecord, m *DCMap, preferred int, s
 	}
 	perServer := make(map[ipnet.Addr][]float64)
 	serverCount := len(m.Cluster(preferred).Servers)
-	for _, r := range videoFlows {
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
 		dc, ok := m.DCOf(r.Server)
 		if !ok || dc != preferred {
 			continue
@@ -266,7 +392,7 @@ func ServerLoadStats(videoFlows []capture.FlowRecord, m *DCMap, preferred int, s
 			avg[i] /= float64(serverCount)
 		}
 	}
-	return avg, max
+	return avg, max, it.Err()
 }
 
 // ServerSessionPattern classifies the sessions that touch a given
@@ -277,43 +403,55 @@ type ServerSessionPattern struct {
 	Others        *stats.TimeBins
 }
 
-// SessionsAtServer computes Fig 16 for one server address.
-func SessionsAtServer(sessions []Session, m *DCMap, preferred int, server ipnet.Addr, span time.Duration) ServerSessionPattern {
+// NewServerSessionPattern returns an empty pattern accumulator for the
+// given span; feed sessions through Add (e.g. from StreamSessions).
+func NewServerSessionPattern(span time.Duration) ServerSessionPattern {
 	if span < time.Hour {
 		span = time.Hour
 	}
-	out := ServerSessionPattern{
+	return ServerSessionPattern{
 		AllPreferred:  stats.NewTimeBins(span, time.Hour),
 		FirstPrefOnly: stats.NewTimeBins(span, time.Hour),
 		Others:        stats.NewTimeBins(span, time.Hour),
 	}
+}
+
+// Add classifies one session if it touches the server, binning it by
+// its preferred pattern.
+func (p ServerSessionPattern) Add(s Session, m *DCMap, preferred int, server ipnet.Addr) {
+	touches := false
+	for _, f := range s.Flows {
+		if f.Server == server {
+			touches = true
+			break
+		}
+	}
+	if !touches {
+		return
+	}
+	mask := PrefMask(s, m, preferred)
+	allPref := true
+	for _, pr := range mask {
+		if !pr {
+			allPref = false
+			break
+		}
+	}
+	switch {
+	case allPref:
+		p.AllPreferred.Incr(s.Start())
+	case mask[0] && len(mask) > 1:
+		p.FirstPrefOnly.Incr(s.Start())
+	default:
+		p.Others.Incr(s.Start())
+	}
+}
+
+// SessionsAtServer computes Fig 16 for one server address.
+func SessionsAtServer(sessions []Session, m *DCMap, preferred int, server ipnet.Addr, span time.Duration) ServerSessionPattern {
+	out := NewServerSessionPattern(span)
 	for _, s := range sessions {
-		touches := false
-		for _, f := range s.Flows {
-			if f.Server == server {
-				touches = true
-				break
-			}
-		}
-		if !touches {
-			continue
-		}
-		mask := PrefMask(s, m, preferred)
-		allPref := true
-		for _, p := range mask {
-			if !p {
-				allPref = false
-				break
-			}
-		}
-		switch {
-		case allPref:
-			out.AllPreferred.Incr(s.Start())
-		case mask[0] && len(mask) > 1:
-			out.FirstPrefOnly.Incr(s.Start())
-		default:
-			out.Others.Incr(s.Start())
-		}
+		out.Add(s, m, preferred, server)
 	}
 	return out
 }

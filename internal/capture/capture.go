@@ -85,6 +85,43 @@ func (it *sliceIterator) Next() (FlowRecord, bool) {
 
 func (it *sliceIterator) Err() error { return nil }
 
+// ErrIter returns an empty iterator whose Err reports err — the
+// iterator-shaped way to surface a failure discovered before streaming
+// could begin.
+func ErrIter(err error) Iterator { return &errIterator{err: err} }
+
+type errIterator struct{ err error }
+
+func (e *errIterator) Next() (FlowRecord, bool) { return FlowRecord{}, false }
+func (e *errIterator) Err() error               { return e.err }
+
+// FilterIter wraps an iterator, yielding only the records keep accepts.
+// It is lazy — one upstream record is consumed per accepted (or
+// skipped) record — so filtering a disk-backed stream stays bounded by
+// the upstream's buffering.
+func FilterIter(it Iterator, keep func(FlowRecord) bool) Iterator {
+	return &filterIterator{it: it, keep: keep}
+}
+
+type filterIterator struct {
+	it   Iterator
+	keep func(FlowRecord) bool
+}
+
+func (f *filterIterator) Next() (FlowRecord, bool) {
+	for {
+		r, ok := f.it.Next()
+		if !ok {
+			return FlowRecord{}, false
+		}
+		if f.keep(r) {
+			return r, true
+		}
+	}
+}
+
+func (f *filterIterator) Err() error { return f.it.Err() }
+
 // Collect drains an iterator into a slice, returning the iterator's
 // error if the stream failed.
 func Collect(it Iterator) ([]FlowRecord, error) {

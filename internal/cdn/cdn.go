@@ -139,18 +139,26 @@ func (m *SelectionMetrics) Merge(o SelectionMetrics) {
 
 // Request is one user-initiated video session.
 type Request struct {
-	VP     int // index into World.VantagePoints
-	Subnet *topology.Subnet
-	Client ipnet.Addr
-	Video  content.VideoID
-	Res    content.Resolution
+	VP int // index into World.VantagePoints
+	// SubnetIdx indexes the client's subnet in the VP's Subnets; it
+	// selects the per-subnet player RNG stream the session draws from.
+	SubnetIdx int
+	Subnet    *topology.Subnet
+	Client    ipnet.Addr
+	Video     content.VideoID
+	Res       content.Resolution
 }
 
 // Simulator executes sessions. It owns no clock of its own: callers
 // schedule SubmitSession on the shared des.Engine. A Simulator belongs
-// to exactly one engine (one shard of a sharded run): all of a vantage
-// point's sessions must go through the same simulator so that its
-// player RNG draws in a deterministic order.
+// to exactly one engine (one shard of a sharded run). Every draw a
+// session makes comes from its subnet's own player stream — the
+// "player-<vp>" fork of the root, sub-forked per subnet index — so a
+// subnet's draw order depends only on that subnet's event sequence.
+// That is what lets one vantage point's subnets be split across
+// several simulators (sub-VP sharding) while reproducing the
+// single-simulator run bit-for-bit: all of a SUBNET's sessions must go
+// through the same simulator, but a VP's subnets need not.
 type Simulator struct {
 	w    *topology.World
 	cat  *content.Catalog
@@ -158,7 +166,12 @@ type Simulator struct {
 	eng  *des.Engine
 	sink capture.Sink
 	cfg  Config
-	g    *stats.RNG
+	// root is the seed-level RNG parent the per-subnet player streams
+	// fork from; the simulator never draws from it directly.
+	root *stats.RNG
+	// streams caches the per-(vp, subnet) player forks. Accessed only
+	// from the simulator's engine goroutine.
+	streams map[streamKey]*stats.RNG
 	// span is the capture window: no new chain is admitted at or after
 	// it and the probe records no flow starting at or after it (a real
 	// Tstat capture stops at teardown). Zero means unbounded.
@@ -175,8 +188,15 @@ type Simulator struct {
 	metrics   SelectionMetrics
 }
 
-// NewSimulator wires a simulator over a world. span bounds the capture
-// window (see Simulator.span); zero means unbounded.
+// streamKey identifies one subnet's player stream.
+type streamKey struct{ vp, subnet int }
+
+// NewSimulator wires a simulator over a world. g is the seed-level RNG
+// parent: session randomness comes from "player-<vp>" / "subnet/<j>"
+// forks of it, one stream per subnet, so the same parent handed to any
+// partition of the subnets yields the same per-subnet draws. span
+// bounds the capture window (see Simulator.span); zero means
+// unbounded.
 func NewSimulator(w *topology.World, cat *content.Catalog, sel *core.Selector,
 	eng *des.Engine, sink capture.Sink, cfg Config, g *stats.RNG, span time.Duration) (*Simulator, error) {
 	if cfg.ControlBytesMax >= 1000 {
@@ -200,7 +220,8 @@ func NewSimulator(w *topology.World, cat *content.Catalog, sel *core.Selector,
 	if span < 0 {
 		return nil, fmt.Errorf("cdn: span %v must be >= 0", span)
 	}
-	s := &Simulator{w: w, cat: cat, sel: sel, eng: eng, sink: sink, cfg: cfg, g: g, span: span}
+	s := &Simulator{w: w, cat: cat, sel: sel, eng: eng, sink: sink, cfg: cfg,
+		root: g, streams: make(map[streamKey]*stats.RNG), span: span}
 	for _, vp := range w.VantagePoints {
 		s.vpEndpoints = append(s.vpEndpoints, vp.Endpoint())
 		s.homes = append(s.homes, core.HomeOf(vp))
@@ -222,24 +243,39 @@ func (s *Simulator) Truncated() int { return s.truncated }
 // far.
 func (s *Simulator) Metrics() SelectionMetrics { return s.metrics }
 
+// rng returns (forking on first use) the player stream of the
+// request's subnet. Forking is order-independent, so the stream is the
+// same no matter which simulator of which sharding layout serves the
+// subnet.
+func (s *Simulator) rng(req Request) *stats.RNG {
+	k := streamKey{vp: req.VP, subnet: req.SubnetIdx}
+	g, ok := s.streams[k]
+	if !ok {
+		g = s.root.Fork("player-"+s.w.VantagePoints[req.VP].Name).ForkIndexed("subnet", req.SubnetIdx)
+		s.streams[k] = g
+	}
+	return g
+}
+
 // SubmitSession executes a session starting at the engine's current
 // time. It must be called from within an engine event.
 func (s *Simulator) SubmitSession(req Request) {
 	s.sessions++
 	vp := s.w.VantagePoints[req.VP]
+	g := s.rng(req)
 
 	// Quirk paths: residual legacy YouTube-EU servers and third-party
 	// caches, reached outside Google's DNS selection (Table II).
-	if s.g.Bool(vp.LegacyProb) {
-		s.serveFromClass(req, topology.ClassLegacyEU)
+	if g.Bool(vp.LegacyProb) {
+		s.serveFromClass(req, g, topology.ClassLegacyEU)
 		return
 	}
-	if s.g.Bool(vp.ThirdPartyProb) {
-		s.serveFromClass(req, topology.ClassThirdParty)
+	if g.Bool(vp.ThirdPartyProb) {
+		s.serveFromClass(req, g, topology.ClassThirdParty)
 		return
 	}
 
-	s.runChain(req, s.eng.Now(), 1.0)
+	s.runChain(req, g, s.eng.Now(), 1.0)
 
 	// User interaction: an extra, shorter video flow after a gap that
 	// exceeds T=1s (new session at small T, same session at large T).
@@ -249,12 +285,12 @@ func (s *Simulator) SubmitSession(req Request) {
 	// reach FollowUpGapMax past the last arrival). The gap is drawn
 	// either way so the session's RNG stream does not depend on where
 	// the session sits in the window.
-	if s.g.Bool(s.cfg.FollowUpProb) {
-		gap := time.Duration(s.g.Uniform(float64(s.cfg.FollowUpGapMin), float64(s.cfg.FollowUpGapMax)))
+	if g.Bool(s.cfg.FollowUpProb) {
+		gap := time.Duration(g.Uniform(float64(s.cfg.FollowUpGapMin), float64(s.cfg.FollowUpGapMax)))
 		if s.span <= 0 || s.eng.Now()+gap < s.span {
 			req := req
 			s.eng.ScheduleAfter(gap, func() {
-				s.runChain(req, s.eng.Now(), 0.3)
+				s.runChain(req, g, s.eng.Now(), 0.3)
 			})
 		}
 	}
@@ -264,24 +300,24 @@ func (s *Simulator) SubmitSession(req Request) {
 // race under a racing policy) and the serve-or-redirect chain,
 // emitting control flows for each redirect and one final video flow.
 // watchScale shrinks the watched fraction (for follow-up interactions).
-func (s *Simulator) runChain(req Request, start time.Duration, watchScale float64) {
+func (s *Simulator) runChain(req Request, g *stats.RNG, start time.Duration, watchScale float64) {
 	vp := s.w.VantagePoints[req.VP]
 	ldns := req.Subnet.LDNS
 	home := s.homes[req.VP]
 
 	t := start
 	var srv topology.ServerID
-	if cands := s.sel.RaceCandidates(ldns, req.Video, s.g); len(cands) > 0 {
-		srv = s.raceWinner(req.VP, cands)
+	if cands := s.sel.RaceCandidates(ldns, req.Video, g); len(cands) > 0 {
+		srv = s.raceWinner(req.VP, g, cands)
 		s.sel.CommitRace(ldns, srv)
 		s.metrics.RaceWins++
 	} else {
-		srv = s.sel.ResolveDNS(ldns, req.Video, s.g)
+		srv = s.sel.ResolveDNS(ldns, req.Video, g)
 	}
 
 	// Optional control prelude to the resolved server.
-	if s.g.Bool(s.cfg.PreludeProb) {
-		t = s.emitControl(vp, req, srv, t)
+	if g.Bool(s.cfg.PreludeProb) {
+		t = s.emitControl(vp, req, g, srv, t)
 	}
 
 	hops := 0
@@ -294,15 +330,15 @@ func (s *Simulator) runChain(req Request, start time.Duration, watchScale float6
 			// pull-through and miss accounting — previously the video
 			// was emitted from a DC that might not hold it, with no
 			// accounting at all.
-			s.sel.ServeFinal(srv, req.Video, ldns, home, s.g)
+			s.sel.ServeFinal(srv, req.Video, ldns, home, g)
 			break
 		}
-		d := s.sel.ServeOrRedirect(srv, req.Video, ldns, home, s.g)
+		d := s.sel.ServeOrRedirect(srv, req.Video, ldns, home, g)
 		if !d.Redirected {
 			break
 		}
 		// The refused connection is a short control flow.
-		t = s.emitControl(vp, req, srv, t)
+		t = s.emitControl(vp, req, g, srv, t)
 		srv = d.Target
 		hops++
 	}
@@ -317,7 +353,7 @@ func (s *Simulator) runChain(req Request, start time.Duration, watchScale float6
 	}
 	s.metrics.SumServedRTT += s.w.Net.BaseRTT(s.vpEndpoints[req.VP], s.serverEndpoint(srv))
 
-	s.emitVideo(vp, req, srv, t, watchScale)
+	s.emitVideo(vp, req, g, srv, t, watchScale)
 }
 
 // raceWinner models the go-with-the-winner player hook: it opens the
@@ -327,11 +363,11 @@ func (s *Simulator) runChain(req Request, start time.Duration, watchScale float6
 // The losers' connections are torn down during the handshake, before
 // any payload, so they fall below the capture pipeline's flow
 // threshold and are not recorded.
-func (s *Simulator) raceWinner(vpIdx int, cands []topology.ServerID) topology.ServerID {
+func (s *Simulator) raceWinner(vpIdx int, g *stats.RNG, cands []topology.ServerID) topology.ServerID {
 	best := cands[0]
 	bestT := time.Duration(math.MaxInt64)
 	for _, c := range cands {
-		ttfb := s.w.Net.SampleRTT(s.vpEndpoints[vpIdx], s.serverEndpoint(c), s.g)
+		ttfb := s.w.Net.SampleRTT(s.vpEndpoints[vpIdx], s.serverEndpoint(c), g)
 		if capacity := s.w.Server(c).Capacity; capacity > 0 {
 			util := float64(s.sel.ServerLoad(c)) / float64(capacity)
 			ttfb += time.Duration(util * util * float64(raceQueuePenalty))
@@ -348,7 +384,7 @@ func (s *Simulator) raceWinner(vpIdx int, cands []topology.ServerID) topology.Se
 // US-located residue of the old infrastructure (the paper's US-Campus
 // sees ~310 distinct AS-43515 servers against Europe's ~550, Table
 // II), while European networks draw from the whole footprint.
-func (s *Simulator) serveFromClass(req Request, class topology.ServerClass) {
+func (s *Simulator) serveFromClass(req Request, g *stats.RNG, class topology.ServerClass) {
 	vp := s.w.VantagePoints[req.VP]
 	var same, all []*topology.Server
 	for _, srv := range s.w.ServersOfClass(class) {
@@ -364,16 +400,16 @@ func (s *Simulator) serveFromClass(req Request, class topology.ServerClass) {
 	if vp.HomeContinent() == geo.NorthAmerica && len(same) > 0 {
 		pool = same
 	}
-	srv := pool[s.g.Intn(len(pool))]
-	s.emitVideo(vp, req, srv.ID, s.eng.Now(), 1.0)
+	srv := pool[g.Intn(len(pool))]
+	s.emitVideo(vp, req, g, srv.ID, s.eng.Now(), 1.0)
 }
 
 // emitControl records a sub-1000-byte control flow to srv starting at
 // t and returns the time the client moves on.
-func (s *Simulator) emitControl(vp *topology.VantagePoint, req Request, srv topology.ServerID, t time.Duration) time.Duration {
-	rtt := s.w.Net.SampleRTT(s.vpEndpoints[req.VP], s.serverEndpoint(srv), s.g)
-	dur := 2*rtt + time.Duration(s.g.Uniform(10, 60))*time.Millisecond
-	bytes := int64(s.g.Uniform(float64(s.cfg.ControlBytesMin), float64(s.cfg.ControlBytesMax)))
+func (s *Simulator) emitControl(vp *topology.VantagePoint, req Request, g *stats.RNG, srv topology.ServerID, t time.Duration) time.Duration {
+	rtt := s.w.Net.SampleRTT(s.vpEndpoints[req.VP], s.serverEndpoint(srv), g)
+	dur := 2*rtt + time.Duration(g.Uniform(10, 60))*time.Millisecond
+	bytes := int64(g.Uniform(float64(s.cfg.ControlBytesMin), float64(s.cfg.ControlBytesMax)))
 	s.record(vp.Name, capture.FlowRecord{
 		Client:     req.Client,
 		Server:     s.w.Server(srv).Addr,
@@ -383,15 +419,15 @@ func (s *Simulator) emitControl(vp *topology.VantagePoint, req Request, srv topo
 		VideoID:    content.StringID(req.Video),
 		Resolution: req.Res.String(),
 	})
-	gap := time.Duration(s.g.Uniform(0, float64(s.cfg.RedirectGapMax)))
+	gap := time.Duration(g.Uniform(0, float64(s.cfg.RedirectGapMax)))
 	return t + dur + gap
 }
 
 // emitVideo records the video flow at srv and manages load accounting.
-func (s *Simulator) emitVideo(vp *topology.VantagePoint, req Request, srv topology.ServerID, t time.Duration, watchScale float64) {
+func (s *Simulator) emitVideo(vp *topology.VantagePoint, req Request, g *stats.RNG, srv topology.ServerID, t time.Duration, watchScale float64) {
 	watch := 1.0
-	if !s.g.Bool(s.cfg.WatchFullProb) {
-		watch = s.g.Uniform(s.cfg.MinWatchFrac, 1)
+	if !g.Bool(s.cfg.WatchFullProb) {
+		watch = g.Uniform(s.cfg.MinWatchFrac, 1)
 	}
 	watch *= watchScale
 	if watch > 1 {

@@ -99,7 +99,7 @@ func runHotspotChains(t *testing.T, policy core.SelectionPolicy, n int) (mean ti
 		at := time.Duration(i) * time.Hour
 		r.eng.Schedule(at, func() {
 			before := len(r.sink.View(vp.Name))
-			r.sim.runChain(req, r.eng.Now(), 1.0)
+			r.sim.runChain(req, r.sim.rng(req), r.eng.Now(), 1.0)
 			recs := r.sink.View(vp.Name)[before:]
 			// The chain's video flow is its last record; map it back
 			// to the serving server and read its load right away.
@@ -150,7 +150,7 @@ func TestRaceMetrics(t *testing.T) {
 	}
 	const n = 40
 	for i := 0; i < n; i++ {
-		r.sim.runChain(req, 0, 1.0)
+		r.sim.runChain(req, r.sim.rng(req), 0, 1.0)
 	}
 	m := r.sim.Metrics()
 	if m.Chains != n || m.RaceWins != n {

@@ -86,17 +86,21 @@ func (r *ShardedRunner) Run() {
 // runMerged is the window-0 mode: a sequential k-way merge that steps
 // one event at a time, always from the shard whose next event is
 // earliest. Equal-time events on different shards run in shard-index
-// order, which is NOT in general a single engine's scheduling order
-// (round-robin VP→shard wiring puts e.g. VP 2 on shard 0 ahead of
-// VP 1 on shard 1). Bit-identity to the single engine therefore rests
-// on two properties of the event population, not on tie order: events
-// wired before the run at coinciding times (the workload generators'
-// hour batches) touch no shared state and record nothing, so their
-// relative order is unobservable; and events scheduled during the run
-// carry continuous time offsets, so cross-shard ties among them are
-// measure-zero. Anyone adding pre-wired tied events that touch the
-// selector, placement or sink breaks the guarantee — the parity tests
-// pin it empirically.
+// order — a deterministic tie-break, but NOT in general a single
+// engine's scheduling order (round-robin bucket→shard wiring puts e.g.
+// VP 2 on shard 0 ahead of VP 1 on shard 1, and sub-VP sharding puts
+// several buckets of ONE vantage point on different shards with their
+// hour batches exactly coinciding). Bit-identity to the single engine
+// therefore rests on two properties of the event population, not on
+// tie order: events wired before the run at coinciding times (the
+// per-subnet hour batches of the workload generators) draw only from
+// their own forked RNG streams, touch no shared state and record
+// nothing, so their relative order is unobservable; and events
+// scheduled during the run carry continuous time offsets, so
+// cross-shard ties among them are measure-zero. Anyone adding
+// pre-wired tied events that touch the selector, placement or sink
+// breaks the guarantee — the sharding property tests pin it
+// empirically at both granularities.
 func (r *ShardedRunner) runMerged() {
 	bi := 0
 	for {

@@ -2,6 +2,7 @@ package des
 
 import (
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -207,5 +208,34 @@ func TestShardedRunnerValidation(t *testing.T) {
 	}
 	if _, err := NewShardedRunner(-time.Second, &Engine{}); err == nil {
 		t.Error("negative window must be rejected")
+	}
+}
+
+// TestMergedCrossShardTieBreak pins the merge's deterministic
+// tie-break: equal-time events on different shards run in shard-index
+// order, regardless of the order the shards were wired. Sub-VP
+// sharding relies on this being deterministic (one vantage point's
+// hour batches land on several shards at exactly coinciding times);
+// bit-identity to a single engine additionally requires such tied
+// events not to touch shared state, which the ytcdn-level property
+// suite pins.
+func TestMergedCrossShardTieBreak(t *testing.T) {
+	a, b, c := &Engine{}, &Engine{}, &Engine{}
+	var order []string
+	for _, at := range []time.Duration{time.Second, 2 * time.Second} {
+		at := at
+		// Wire in reverse shard order to prove wiring order is irrelevant.
+		c.Schedule(at, func() { order = append(order, "c") })
+		b.Schedule(at, func() { order = append(order, "b") })
+		a.Schedule(at, func() { order = append(order, "a") })
+	}
+	r, err := NewShardedRunner(0, a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run()
+	want := "abcabc"
+	if got := strings.Join(order, ""); got != want {
+		t.Errorf("tied events ran in order %q, want shard-index order %q", got, want)
 	}
 }

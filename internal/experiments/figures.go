@@ -157,16 +157,25 @@ type Fig05Result struct {
 	Hist map[time.Duration][]float64
 }
 
-// Fig05SessionGapT computes the T-sensitivity of sessionization.
+// Fig05SessionGapT computes the T-sensitivity of sessionization, one
+// start-ordered streaming pass per T — no session list is ever held,
+// and no dataset artifacts are needed (pure sessionization).
 func (h *Harness) Fig05SessionGapT() (*Fig05Result, error) {
-	ds, err := h.Dataset(topology.DatasetUSCampus)
+	name := topology.DatasetUSCampus
+	googleStart, err := h.googleStartSource(name)
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig05Result{Hist: make(map[time.Duration][]float64)}
 	for _, T := range []time.Duration{time.Second, 5 * time.Second, 10 * time.Second, 60 * time.Second, 300 * time.Second} {
-		sessions := analysis.Sessionize(ds.google, T)
-		res.Hist[T] = analysis.FlowsPerSessionHistogram(sessions, 10)
+		tally := analysis.NewSessionTally(10)
+		err := analysis.StreamSessions(googleStart(), T, func(s analysis.Session) {
+			tally.Add(s, nil, 0)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sessionizing %s at T=%v: %w", name, T, err)
+		}
+		res.Hist[T] = tally.Histogram()
 	}
 	return res, nil
 }
@@ -209,7 +218,7 @@ func (h *Harness) Fig06FlowsPerSession() (*Fig06Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.Hist[name] = analysis.FlowsPerSessionHistogram(ds.sessions, 10)
+		res.Hist[name] = ds.tally.Histogram()
 	}
 	return res, nil
 }
@@ -363,7 +372,10 @@ func (h *Harness) Fig09NonPreferredHourly() (*Fig09Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		fracs, _, _ := analysis.HourlyNonPreferred(ds.video, ds.dcmap, ds.pref.Preferred, h.in.Span)
+		fracs, _, _, err := analysis.HourlyNonPreferredIter(h.videoIter(name), ds.dcmap, ds.pref.Preferred, h.in.Span)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scanning %s: %w", name, err)
+		}
 		res.Fracs[name] = stats.NewCDF(fracs)
 	}
 	return res, nil
@@ -401,7 +413,7 @@ func (h *Harness) Fig10SessionPatterns() (*Fig10Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		one, two := analysis.BreakdownSessions(ds.sessions, ds.dcmap, ds.pref.Preferred)
+		one, two := ds.tally.Breakdown()
 		res.Single[name] = one
 		res.Two[name] = two
 	}
@@ -444,7 +456,10 @@ func (h *Harness) Fig11EU2Diurnal() (*Fig11Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, all, nonPref := analysis.HourlyNonPreferred(ds.video, ds.dcmap, ds.pref.Preferred, h.in.Span)
+	_, all, nonPref, err := analysis.HourlyNonPreferredIter(h.videoIter(topology.DatasetEU2), ds.dcmap, ds.pref.Preferred, h.in.Span)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scanning %s: %w", topology.DatasetEU2, err)
+	}
 	res := &Fig11Result{}
 	for i := 0; i < all.N(); i++ {
 		res.Flows = append(res.Flows, all.Bin(i))
@@ -515,7 +530,11 @@ func (h *Harness) Fig12SubnetBias() (*Fig12Result, error) {
 	for _, sn := range ds.vp.Subnets {
 		subnets = append(subnets, analysis.NamedPrefix{Name: sn.Name, Prefix: sn.Prefix})
 	}
-	return &Fig12Result{Shares: analysis.BySubnet(ds.video, ds.dcmap, ds.pref.Preferred, subnets)}, nil
+	shares, err := analysis.BySubnetIter(h.videoIter(topology.DatasetUSCampus), ds.dcmap, ds.pref.Preferred, subnets)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scanning %s: %w", topology.DatasetUSCampus, err)
+	}
+	return &Fig12Result{Shares: shares}, nil
 }
 
 // Render formats Fig 12.
@@ -552,7 +571,7 @@ func (h *Harness) Fig13VideoNonPref() (*Fig13Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		counts := analysis.NonPreferredPerVideo(ds.video, ds.dcmap, ds.pref.Preferred)
+		counts := ds.nonPrefVideos
 		cdf := &stats.CDF{}
 		once := 0
 		for _, c := range counts {
@@ -607,10 +626,14 @@ func (h *Harness) Fig14HotVideos() (*Fig14Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	counts := analysis.NonPreferredPerVideo(ds.video, ds.dcmap, ds.pref.Preferred)
+	counts := ds.nonPrefVideos
 	res := &Fig14Result{}
 	for i := 0; i < 4 && i < len(counts); i++ {
-		all, nonPref := analysis.VideoHourlySeries(ds.video, ds.dcmap, ds.pref.Preferred, counts[i].VideoID, h.in.Span)
+		all, nonPref, err := analysis.VideoHourlySeriesIter(h.videoIter(topology.DatasetEU1ADSL),
+			ds.dcmap, ds.pref.Preferred, counts[i].VideoID, h.in.Span)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scanning %s: %w", topology.DatasetEU1ADSL, err)
+		}
 		res.Videos = append(res.Videos, Fig14Video{
 			VideoID: counts[i].VideoID,
 			All:     all.Values(),
@@ -656,7 +679,10 @@ func (h *Harness) Fig15ServerLoad() (*Fig15Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	avg, max := analysis.ServerLoadStats(ds.google, ds.dcmap, ds.pref.Preferred, h.in.Span)
+	avg, max, err := analysis.ServerLoadStatsIter(h.googleIter(topology.DatasetEU1ADSL), ds.dcmap, ds.pref.Preferred, h.in.Span)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scanning %s: %w", topology.DatasetEU1ADSL, err)
+	}
 	return &Fig15Result{Avg: avg, Max: max}, nil
 }
 
@@ -698,13 +724,16 @@ type Fig16Result struct {
 	Server  string
 }
 
-// Fig16Video1Server computes Fig 16.
+// Fig16Video1Server computes Fig 16, streaming both passes: the
+// video1-server election over the video subset, then the session
+// patterns at that server over the start-ordered Google stream.
 func (h *Harness) Fig16Video1Server() (*Fig16Result, error) {
-	ds, err := h.Dataset(topology.DatasetEU1ADSL)
+	name := topology.DatasetEU1ADSL
+	ds, err := h.Dataset(name)
 	if err != nil {
 		return nil, err
 	}
-	counts := analysis.NonPreferredPerVideo(ds.video, ds.dcmap, ds.pref.Preferred)
+	counts := ds.nonPrefVideos
 	if len(counts) == 0 {
 		return nil, fmt.Errorf("experiments: no non-preferred videos at EU1-ADSL")
 	}
@@ -712,13 +741,21 @@ func (h *Harness) Fig16Video1Server() (*Fig16Result, error) {
 	// The server "handling video1" in the preferred DC: the preferred
 	// DC server carrying most of video1's flows.
 	perServer := make(map[uint32]int)
-	for _, r := range ds.video {
+	it := h.videoIter(name)
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
 		if r.VideoID != video1 {
 			continue
 		}
 		if dc, ok := ds.dcmap.DCOf(r.Server); ok && dc == ds.pref.Preferred {
 			perServer[uint32(r.Server)]++
 		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: scanning %s: %w", name, err)
 	}
 	var best uint32
 	bestN := -1
@@ -733,12 +770,22 @@ func (h *Harness) Fig16Video1Server() (*Fig16Result, error) {
 		// the preferred DC at all. Render an explicit empty pattern
 		// instead of failing the suite.
 		return &Fig16Result{
-			Pattern: analysis.SessionsAtServer(nil, ds.dcmap, ds.pref.Preferred, 0, h.in.Span),
+			Pattern: analysis.NewServerSessionPattern(h.in.Span),
 			Server:  "none (video1 never served by preferred DC)",
 		}, nil
 	}
 	srvAddr := ipAddrFromU32(best)
-	pattern := analysis.SessionsAtServer(ds.sessions, ds.dcmap, ds.pref.Preferred, srvAddr, h.in.Span)
+	googleStart, err := h.googleStartSource(name)
+	if err != nil {
+		return nil, err
+	}
+	pattern := analysis.NewServerSessionPattern(h.in.Span)
+	err = analysis.StreamSessions(googleStart(), time.Second, func(s analysis.Session) {
+		pattern.Add(s, ds.dcmap, ds.pref.Preferred, srvAddr)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: sessionizing %s: %w", name, err)
+	}
 	return &Fig16Result{Pattern: pattern, Server: srvAddr.String()}, nil
 }
 

@@ -79,6 +79,7 @@ type Harness struct {
 	mu        sync.Mutex // guards the cell maps
 	campaigns map[string]*cell[map[ipnet.Addr]float64]
 	perDS     map[string]*cell[*dataset]
+	starts    map[string]*cell[func() capture.Iterator]
 
 	plMu   sync.Mutex // serializes PlanetLab runs (they mutate the placement)
 	plRuns int        // PlanetLab invocations (each uploads a fresh video)
@@ -97,17 +98,25 @@ func (c *cell[T]) do(compute func() (T, error)) (T, error) {
 	return c.val, c.err
 }
 
-// dataset caches per-trace analysis artifacts. The raw trace itself is
-// never retained — only the §IV Google-AS subset and its derivatives —
-// so a disk-backed study keeps the full capture on disk.
+// dataset caches per-trace analysis artifacts. No flow slice is
+// retained — not even the §IV Google-AS subset: every figure streams
+// the records it needs through googleIter/videoIter (and the
+// sessionizing figures through StreamSessions over a start-ordered
+// stream), so what survives here is bounded by the distinct-server and
+// distinct-video sets, never the trace size.
 type dataset struct {
-	vp       *topology.VantagePoint
-	google   []capture.FlowRecord // §IV filter applied
-	video    []capture.FlowRecord
-	control  []capture.FlowRecord
-	dcmap    *analysis.DCMap
-	pref     analysis.PreferredResult
-	sessions []analysis.Session // T = 1s over google flows
+	vp *topology.VantagePoint
+	// googleServers is the sorted distinct server set of the §IV
+	// Google-filtered trace (Table III).
+	googleServers []ipnet.Addr
+	dcmap         *analysis.DCMap
+	pref          analysis.PreferredResult
+	// tally aggregates the T=1s sessions (Fig 6 histogram, Fig 10
+	// breakdown) without materializing them.
+	tally *analysis.SessionTally
+	// nonPrefVideos is the per-video non-preferred accounting
+	// (Figs 13/14/16).
+	nonPrefVideos []analysis.VideoNonPrefCount
 }
 
 // New builds a harness. Build at most one harness per study when
@@ -126,6 +135,7 @@ func New(in Input) *Harness {
 		prober:    probe.New(in.World, stats.NewRNG(in.Seed).Fork("probe")),
 		campaigns: make(map[string]*cell[map[ipnet.Addr]float64]),
 		perDS:     make(map[string]*cell[*dataset]),
+		starts:    make(map[string]*cell[func() capture.Iterator]),
 	}
 }
 
@@ -137,6 +147,68 @@ func (h *Harness) Parallelism() int { return h.par }
 
 // iter opens a fresh stream over one dataset's records.
 func (h *Harness) iter(name string) capture.Iterator { return h.src.Iter(name) }
+
+// googleIter opens a fresh stream over one dataset's §IV Google-AS
+// subset (lazy filter — nothing is materialized).
+func (h *Harness) googleIter(name string) capture.Iterator {
+	idx := h.in.World.VPIndex(name)
+	if idx < 0 {
+		return capture.ErrIter(fmt.Errorf("experiments: unknown dataset %q", name))
+	}
+	vp := h.in.World.VantagePoints[idx]
+	return analysis.GoogleIter(h.iter(name), h.in.World.Registry, vp.AS.Number)
+}
+
+// videoIter narrows googleIter to video flows.
+func (h *Harness) videoIter(name string) capture.Iterator {
+	return analysis.VideoIter(h.googleIter(name))
+}
+
+// startScanner is the optional TraceSource capability the disk-backed
+// store provides: a start-ordered stream with bounded buffering.
+type startScanner interface {
+	ScanByStart(dataset string) capture.Iterator
+}
+
+// googleStartSource returns a factory of fresh start-ordered streams
+// over one dataset's §IV Google-AS subset — the input shape
+// StreamSessions requires, reusable when a figure needs several passes
+// (Fig 5 sessionizes at five T values). A store-backed source opens a
+// bounded ScanByStart merge per call; an in-memory source, which
+// already holds the trace, filters then sorts the (much smaller)
+// Google subset once per dataset — cached in a cell, shared by every
+// sessionizing figure — and re-serves it (the sort is stable, so
+// equal starts keep emission order, matching the store's tie-break).
+func (h *Harness) googleStartSource(name string) (func() capture.Iterator, error) {
+	h.mu.Lock()
+	c, ok := h.starts[name]
+	if !ok {
+		c = &cell[func() capture.Iterator]{}
+		h.starts[name] = c
+	}
+	h.mu.Unlock()
+	return c.do(func() (func() capture.Iterator, error) {
+		idx := h.in.World.VPIndex(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+		}
+		if !h.hasDataset(name) {
+			return nil, fmt.Errorf("experiments: no trace for %q", name)
+		}
+		vp := h.in.World.VantagePoints[idx]
+		if s, ok := h.src.(startScanner); ok {
+			return func() capture.Iterator {
+				return analysis.GoogleIter(s.ScanByStart(name), h.in.World.Registry, vp.AS.Number)
+			}, nil
+		}
+		recs, err := capture.Collect(h.googleIter(name))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scanning %s: %w", name, err)
+		}
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
+		return func() capture.Iterator { return capture.IterSlice(recs) }, nil
+	})
+}
 
 // servers returns the sorted union of distinct server addresses across
 // all traces, streaming each trace once.
@@ -289,7 +361,8 @@ func (h *Harness) Dataset(name string) (*dataset, error) {
 	return c.do(func() (*dataset, error) { return h.buildDataset(name) })
 }
 
-// buildDataset computes one dataset's artifacts.
+// buildDataset computes one dataset's artifacts in a handful of
+// streaming passes; nothing trace-sized is retained.
 func (h *Harness) buildDataset(name string) (*dataset, error) {
 	idx := h.in.World.VPIndex(name)
 	if idx < 0 {
@@ -303,37 +376,74 @@ func (h *Harness) buildDataset(name string) (*dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	google, err := analysis.GoogleFilterIter(h.iter(name), h.in.World.Registry, vp.AS.Number)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: scanning %s: %w", name, err)
-	}
-	video, control := analysis.SplitFlows(google)
 
-	// Cluster only this dataset's Google servers (the paper clusters
-	// what each trace saw; /24 aggregation is implicit).
+	// Pass 1: the distinct Google servers and their CBG locations.
+	// Cluster only this dataset's servers (the paper clusters what each
+	// trace saw; /24 aggregation is implicit).
+	seen := make(map[ipnet.Addr]struct{})
 	dsLocs := make(map[ipnet.Addr]geo.Point)
-	for _, r := range google {
+	it := h.googleIter(name)
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		if _, dup := seen[r.Server]; dup {
+			continue
+		}
+		seen[r.Server] = struct{}{}
 		if loc, ok := locs[r.Server]; ok {
 			dsLocs[r.Server] = loc
 		}
 	}
+	if err := it.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: scanning %s: %w", name, err)
+	}
+	servers := make([]ipnet.Addr, 0, len(seen))
+	for a := range seen {
+		servers = append(servers, a)
+	}
+	sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
 	dcmap := analysis.BuildDCMap(dsLocs, 100)
 
 	rtts, err := h.campaign(name)
 	if err != nil {
 		return nil, err
 	}
-	pref := analysis.FindPreferred(video, dcmap, rtts, vp.City.Point)
-	sessions := analysis.Sessionize(google, time.Second)
+
+	// Pass 2: the preferred data center, from the video subset.
+	pref, err := analysis.FindPreferredIter(h.videoIter(name), dcmap, rtts, vp.City.Point)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scanning %s: %w", name, err)
+	}
+
+	// Pass 3: T=1s sessions, streamed in start order and tallied on the
+	// fly — the sessions themselves never exist as a slice.
+	googleStart, err := h.googleStartSource(name)
+	if err != nil {
+		return nil, err
+	}
+	tally := analysis.NewSessionTally(10)
+	err = analysis.StreamSessions(googleStart(), time.Second, func(s analysis.Session) {
+		tally.Add(s, dcmap, pref.Preferred)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: sessionizing %s: %w", name, err)
+	}
+
+	// Pass 4: per-video non-preferred accounting.
+	nonPrefVideos, err := analysis.NonPreferredPerVideoIter(h.videoIter(name), dcmap, pref.Preferred)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scanning %s: %w", name, err)
+	}
 
 	return &dataset{
-		vp:       vp,
-		google:   google,
-		video:    video,
-		control:  control,
-		dcmap:    dcmap,
-		pref:     pref,
-		sessions: sessions,
+		vp:            vp,
+		googleServers: servers,
+		dcmap:         dcmap,
+		pref:          pref,
+		tally:         tally,
+		nonPrefVideos: nonPrefVideos,
 	}, nil
 }
 

@@ -121,7 +121,7 @@ func (h *Harness) TableIII() (*TableIIIResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		counts := analysis.CountServersByContinent(ds.google, locs)
+		counts := analysis.CountAddrsByContinent(ds.googleServers, locs)
 		res.Rows = append(res.Rows, TableIIIRow{Dataset: name, Counts: counts})
 	}
 	return res, nil

@@ -6,6 +6,7 @@ package stats
 
 import (
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"math"
 	"math/rand"
@@ -51,6 +52,17 @@ func ForkSeed(seed int64, name string) int64 {
 // names for independent streams.
 func (g *RNG) Fork(name string) *RNG {
 	return NewRNG(ForkSeed(g.seed, name))
+}
+
+// ForkIndexed derives the i-th stream of a bucketed family ("name/i").
+// It is the fork used to split one logical actor into independent
+// sub-streams — e.g. a vantage point's per-subnet workload and player
+// streams — and inherits Fork's guarantees: the child depends only on
+// (parent seed, name, i), never on how many siblings exist or in which
+// order they are forked, so any grouping of the buckets onto engines
+// reproduces bit-identically.
+func (g *RNG) ForkIndexed(name string, i int) *RNG {
+	return g.Fork(fmt.Sprintf("%s/%d", name, i))
 }
 
 // Float64 returns a uniform draw in [0, 1).

@@ -437,3 +437,24 @@ func TestTimeBinsString(t *testing.T) {
 		t.Error("String empty")
 	}
 }
+
+// TestForkIndexed pins the bucketed fork: children depend only on
+// (parent seed, name, index) — not on sibling count, fork order or the
+// parent's draw position — and distinct indices give distinct streams.
+func TestForkIndexed(t *testing.T) {
+	parent := NewRNG(99)
+	a := parent.ForkIndexed("subnet", 3)
+	parent.Float64() // advance the parent; must not matter
+	b := NewRNG(99).ForkIndexed("subnet", 3)
+	for i := 0; i < 16; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("ForkIndexed depends on parent draw position or fork order")
+		}
+	}
+	if NewRNG(99).ForkIndexed("subnet", 3).Seed() == NewRNG(99).ForkIndexed("subnet", 4).Seed() {
+		t.Error("distinct indices must give distinct streams")
+	}
+	if NewRNG(99).ForkIndexed("subnet", 3).Seed() != NewRNG(99).Fork("subnet/3").Seed() {
+		t.Error("ForkIndexed must be the documented name/index fork")
+	}
+}

@@ -2,6 +2,16 @@
 // networks: an inhomogeneous Poisson arrival process with a diurnal
 // profile per vantage point, subnet/client selection, and video and
 // resolution sampling from the shared catalog.
+//
+// Arrivals decompose per subnet: a vantage point's Poisson process is
+// thinned into one independent process per subnet (rate = VP rate ×
+// subnet weight), each drawing from its own forked RNG stream
+// ("subnet/<j>" under the VP's workload parent). The union of the
+// per-subnet processes is distributed exactly like the undecomposed
+// VP process, and — because each subnet's draws depend only on its own
+// stream — the generated request population is bit-identical no matter
+// how the subnets are grouped into generators or placed on simulation
+// engines. That invariance is what makes sub-VP sharding exact.
 package workload
 
 import (
@@ -27,24 +37,45 @@ func DiurnalWeight(t time.Duration, peakHour, minFrac float64) float64 {
 	return minFrac + (1-minFrac)*bump
 }
 
-// Generator produces the session stream of one vantage point over a
+// bucket is one subnet's independent arrival stream.
+type bucket struct {
+	// subnet indexes the covered subnet in VantagePoint.Subnets.
+	subnet int
+	// g is the subnet's own stream: a "subnet/<j>" fork of the VP's
+	// workload parent, so the draws are identical in every grouping.
+	g *stats.RNG
+	// share is the subnet's fraction of the VP's session volume.
+	share float64
+	// clients is the subnet's client-pool size.
+	clients int
+}
+
+// Generator produces the session stream of one vantage point — or of a
+// subset of its subnets, when built with NewGeneratorSubset — over a
 // capture window.
 type Generator struct {
 	vpIndex int
 	vp      *topology.VantagePoint
 	cat     *content.Catalog
 	span    time.Duration
-	g       *stats.RNG
-
-	// clientsPerSubnet is the client pool size of each subnet.
-	clientsPerSubnet []int
-	// subnetCDF is the cumulative weight of subnets for sampling.
-	subnetCDF []float64
+	buckets []bucket
 }
 
-// NewGenerator builds a generator for vantage point vpIndex of the
-// world, covering [0, span).
+// NewGenerator builds a generator covering every subnet of vantage
+// point vpIndex over [0, span). g is the VP's workload parent stream;
+// the generator never draws from it directly — it forks one
+// "subnet/<j>" child per subnet.
 func NewGenerator(w *topology.World, vpIndex int, cat *content.Catalog, span time.Duration, g *stats.RNG) (*Generator, error) {
+	return NewGeneratorSubset(w, vpIndex, nil, cat, span, g)
+}
+
+// NewGeneratorSubset builds a generator covering only the given subnet
+// indices of vantage point vpIndex (nil means all). Splitting one VP's
+// subnets across several generators — each wired to its own simulation
+// engine — produces exactly the arrivals of a single full generator,
+// because every subnet owns an independent forked stream and a rate
+// share that does not depend on the grouping.
+func NewGeneratorSubset(w *topology.World, vpIndex int, subnets []int, cat *content.Catalog, span time.Duration, g *stats.RNG) (*Generator, error) {
 	if vpIndex < 0 || vpIndex >= len(w.VantagePoints) {
 		return nil, fmt.Errorf("workload: vantage point index %d out of range", vpIndex)
 	}
@@ -52,54 +83,70 @@ func NewGenerator(w *topology.World, vpIndex int, cat *content.Catalog, span tim
 		return nil, fmt.Errorf("workload: span must be positive, got %v", span)
 	}
 	vp := w.VantagePoints[vpIndex]
+	if subnets == nil {
+		subnets = make([]int, len(vp.Subnets))
+		for j := range subnets {
+			subnets[j] = j
+		}
+	}
 	gen := &Generator{
 		vpIndex: vpIndex,
 		vp:      vp,
 		cat:     cat,
 		span:    span,
-		g:       g,
 	}
-	acc := 0.0
-	for _, sn := range vp.Subnets {
-		acc += sn.Weight
-		gen.subnetCDF = append(gen.subnetCDF, acc)
+	seen := make(map[int]bool, len(subnets))
+	for _, j := range subnets {
+		if j < 0 || j >= len(vp.Subnets) {
+			return nil, fmt.Errorf("workload: subnet index %d out of range for %s", j, vp.Name)
+		}
+		if seen[j] {
+			return nil, fmt.Errorf("workload: subnet index %d listed twice", j)
+		}
+		seen[j] = true
+		sn := vp.Subnets[j]
 		n := int(float64(vp.NumClients) * sn.Weight)
 		if n < 1 {
 			n = 1
 		}
-		gen.clientsPerSubnet = append(gen.clientsPerSubnet, n)
+		gen.buckets = append(gen.buckets, bucket{
+			subnet:  j,
+			g:       g.ForkIndexed("subnet", j),
+			share:   sn.Weight,
+			clients: n,
+		})
 	}
 	return gen, nil
 }
 
 // TotalSessions returns the expected number of sessions over the
-// window, scaled from the weekly target.
+// window for the covered subnets, scaled from the VP's weekly target
+// (subnet weights sum to 1, so a full generator returns the VP total).
 func (gen *Generator) TotalSessions() float64 {
+	share := 0.0
+	for _, b := range gen.buckets {
+		share += b.share
+	}
+	return float64(gen.vp.WeeklySessions) * share * gen.span.Hours() / (7 * 24)
+}
+
+// vpSessions returns the VP-level expected session count over the
+// window (the pre-split rate the bucket shares multiply).
+func (gen *Generator) vpSessions() float64 {
 	return float64(gen.vp.WeeklySessions) * gen.span.Hours() / (7 * 24)
 }
 
-// ratePerHour returns the expected arrival rate at time t.
+// ratePerHour returns the expected VP-level arrival rate at time t.
 func (gen *Generator) ratePerHour(t time.Duration) float64 {
 	w := DiurnalWeight(t, gen.vp.DiurnalPeakHour, gen.vp.DiurnalMinFrac)
 	meanW := gen.vp.DiurnalMinFrac + (1-gen.vp.DiurnalMinFrac)/2
-	return gen.TotalSessions() / gen.span.Hours() * w / meanW
+	return gen.vpSessions() / gen.span.Hours() * w / meanW
 }
 
-// sampleSubnet draws a subnet index by weight.
-func (gen *Generator) sampleSubnet() int {
-	u := gen.g.Float64()
-	for i, c := range gen.subnetCDF {
-		if u < c {
-			return i
-		}
-	}
-	return len(gen.subnetCDF) - 1
-}
-
-// sampleClient draws a client address within the subnet.
-func (gen *Generator) sampleClient(subnetIdx int) ipnet.Addr {
-	sn := gen.vp.Subnets[subnetIdx]
-	idx := 1 + gen.g.Intn(gen.clientsPerSubnet[subnetIdx])
+// sampleClient draws a client address within the bucket's subnet.
+func (gen *Generator) sampleClient(b *bucket) ipnet.Addr {
+	sn := gen.vp.Subnets[b.subnet]
+	idx := 1 + b.g.Intn(b.clients)
 	addr, err := sn.Prefix.Nth(idx % (sn.Prefix.Size() - 1))
 	if err != nil {
 		// Subnet prefixes are /18s and pools ≤ ~10k clients, so this
@@ -109,47 +156,50 @@ func (gen *Generator) sampleClient(subnetIdx int) ipnet.Addr {
 	return addr
 }
 
-// request assembles one session request at time t.
-func (gen *Generator) request(t time.Duration) cdn.Request {
-	snIdx := gen.sampleSubnet()
+// request assembles one session request at time t for a bucket.
+func (gen *Generator) request(b *bucket, t time.Duration) cdn.Request {
 	return cdn.Request{
-		VP:     gen.vpIndex,
-		Subnet: gen.vp.Subnets[snIdx],
-		Client: gen.sampleClient(snIdx),
-		Video:  gen.cat.Sample(gen.g, t),
-		Res:    gen.cat.SampleResolution(gen.g),
+		VP:        gen.vpIndex,
+		SubnetIdx: b.subnet,
+		Subnet:    gen.vp.Subnets[b.subnet],
+		Client:    gen.sampleClient(b),
+		Video:     gen.cat.Sample(b.g, t),
+		Res:       gen.cat.SampleResolution(b.g),
 	}
 }
 
-// Schedule installs hourly batch events on the engine; each batch
-// draws its hour's Poisson arrival count and schedules the individual
-// sessions at uniform offsets. submit is invoked inside engine events.
+// Schedule installs hourly batch events on the engine, one per covered
+// subnet per hour; each batch draws its hour's Poisson arrival count
+// from the subnet's own stream and schedules the individual sessions
+// at uniform offsets. submit is invoked inside engine events.
 func (gen *Generator) Schedule(eng *des.Engine, submit func(cdn.Request)) {
 	hours := int(gen.span / time.Hour)
 	if gen.span%time.Hour != 0 {
 		hours++
 	}
-	for h := 0; h < hours; h++ {
-		h := h
-		at := time.Duration(h) * time.Hour
-		eng.Schedule(at, func() {
-			gen.emitHour(eng, at, submit)
-		})
+	for i := range gen.buckets {
+		b := &gen.buckets[i]
+		for h := 0; h < hours; h++ {
+			at := time.Duration(h) * time.Hour
+			eng.Schedule(at, func() {
+				gen.emitHour(eng, b, at, submit)
+			})
+		}
 	}
 }
 
-// emitHour schedules one hour's arrivals.
-func (gen *Generator) emitHour(eng *des.Engine, start time.Duration, submit func(cdn.Request)) {
+// emitHour schedules one hour's arrivals for one subnet bucket.
+func (gen *Generator) emitHour(eng *des.Engine, b *bucket, start time.Duration, submit func(cdn.Request)) {
 	width := time.Hour
 	if start+width > gen.span {
 		width = gen.span - start
 	}
-	mean := gen.ratePerHour(start+width/2) * width.Hours()
-	n := gen.g.Poisson(mean)
+	mean := gen.ratePerHour(start+width/2) * b.share * width.Hours()
+	n := b.g.Poisson(mean)
 	for i := 0; i < n; i++ {
-		at := start + time.Duration(gen.g.Float64()*float64(width))
+		at := start + time.Duration(b.g.Float64()*float64(width))
 		eng.Schedule(at, func() {
-			submit(gen.request(at))
+			submit(gen.request(b, at))
 		})
 	}
 }

@@ -7,13 +7,19 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/topology"
 )
 
 // TestBenchArtifactSim emits BENCH_sim.json for the CI sharded-sim job
 // when BENCH_SIM_JSON names the output path: sessions per wall-clock
 // second for the sequential engine versus the windowed 5-shard runner
-// over the same workload, plus the speedup ratio. The acceptance bar
-// for the sharded path is speedup >= 2 at scale 0.25.
+// over the same workload, plus the speedup ratio; and — the sub-VP
+// series — per-VP versus per-subnet sharding on a single-heavy-VP
+// workload, where one vantage point carries almost all sessions and
+// per-VP sharding necessarily serializes on it. The acceptance bar for
+// the sharded path is speedup >= 2 at scale 0.25, and sub-VP sharding
+// must beat per-VP sharding on the heavy-VP workload.
 func TestBenchArtifactSim(t *testing.T) {
 	out := os.Getenv("BENCH_SIM_JSON")
 	if out == "" {
@@ -21,21 +27,27 @@ func TestBenchArtifactSim(t *testing.T) {
 	}
 	base := Options{Scale: 0.25, Span: 7 * 24 * time.Hour}
 
-	run := func(opts Options) (sessions int, flows int, secs float64) {
+	run := func(opts Options, w *topology.World) (sessions int, flows int, secs float64) {
 		start := time.Now()
-		s, err := Run(opts)
+		var s *Study
+		var err error
+		if w != nil {
+			s, err = RunWorld(w, opts)
+		} else {
+			s, err = Run(opts)
+		}
 		if err != nil {
 			t.Fatal(err)
 		}
 		return s.Sessions, s.TotalFlows(), time.Since(start).Seconds()
 	}
 
-	seqSessions, seqFlows, seqSecs := run(base)
+	seqSessions, seqFlows, seqSecs := run(base, nil)
 
 	sharded := base
 	sharded.SimShards = 5
 	sharded.SyncWindow = time.Minute
-	shSessions, shFlows, shSecs := run(sharded)
+	shSessions, shFlows, shSecs := run(sharded, nil)
 
 	if shSessions != seqSessions {
 		t.Errorf("sharded sessions = %d, sequential = %d; arrivals must match", shSessions, seqSessions)
@@ -52,6 +64,41 @@ func TestBenchArtifactSim(t *testing.T) {
 		t.Errorf("sharded speedup = %.2fx on %d cores, want >= 1.3x", speedup, runtime.NumCPU())
 	}
 
+	// Single-heavy-VP workload: US-Campus carries ~20x every other
+	// network (the "millions of users behind one ISP" shape). Per-VP
+	// sharding caps at the heavy VP's engine; per-subnet sharding
+	// spreads its five subnets across engines.
+	heavyWorld := func() *topology.World {
+		w, err := topology.BuildPaperWorld(topology.PaperConfig{Scale: base.Scale, Seed: 20100904})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, vp := range w.VantagePoints {
+			if i == w.VPIndex(DatasetUSCampus) {
+				vp.WeeklySessions *= 3
+			} else {
+				vp.WeeklySessions /= 10
+			}
+		}
+		return w
+	}
+	heavyOpts := base
+	heavyOpts.SimShards = 5
+	heavyOpts.SyncWindow = time.Minute
+	heavyOpts.ShardBy = ShardByVP
+	vpSessions, vpFlows, vpSecs := run(heavyOpts, heavyWorld())
+	heavyOpts.ShardBy = ShardBySubnet
+	subSessions, subFlows, subSecs := run(heavyOpts, heavyWorld())
+
+	if subSessions != vpSessions {
+		t.Errorf("heavy-VP sessions: subnet-sharded %d, vp-sharded %d; arrivals must match", subSessions, vpSessions)
+	}
+	subSpeedup := vpSecs / subSecs
+	t.Logf("heavy-VP workload: sub-VP sharding %.2fx over per-VP sharding on %d cores", subSpeedup, runtime.NumCPU())
+	if os.Getenv("BENCH_SIM_ASSERT") != "" && runtime.NumCPU() >= 4 && subSpeedup < 1.2 {
+		t.Errorf("sub-VP sharding = %.2fx over per-VP on the heavy-VP workload, want >= 1.2x", subSpeedup)
+	}
+
 	artifact := map[string]any{
 		"workload": fmt.Sprintf("scale %.2f, %v span, seed default", base.Scale, base.Span),
 		"cores":    runtime.NumCPU(),
@@ -65,6 +112,20 @@ func TestBenchArtifactSim(t *testing.T) {
 			"seconds": shSecs, "sessions_per_sec": float64(shSessions) / shSecs,
 		},
 		"speedup": seqSecs / shSecs,
+		"heavy_vp": map[string]any{
+			"workload": "US-Campus x3 sessions, others /10 (single heavy vantage point)",
+			"vp_sharded": map[string]any{
+				"shard_by": "vp", "sim_shards": 5, "sync_window": "1m",
+				"sessions": vpSessions, "flows": vpFlows,
+				"seconds": vpSecs, "sessions_per_sec": float64(vpSessions) / vpSecs,
+			},
+			"subvp_sharded": map[string]any{
+				"shard_by": "subnet", "sim_shards": 5, "sync_window": "1m",
+				"sessions": subSessions, "flows": subFlows,
+				"seconds": subSecs, "sessions_per_sec": float64(subSessions) / subSecs,
+			},
+			"subvp_over_vp_speedup": subSpeedup,
+		},
 	}
 	data, err := json.MarshalIndent(artifact, "", "  ")
 	if err != nil {

@@ -2,6 +2,7 @@ package ytcdn
 
 import (
 	"bytes"
+	"io"
 	"testing"
 	"time"
 
@@ -105,5 +106,42 @@ func TestStoreStudyTraceAccessors(t *testing.T) {
 	}
 	if total != s.TotalFlows() {
 		t.Errorf("sum of traces %d, TotalFlows %d", total, s.TotalFlows())
+	}
+}
+
+// TestAnalysisBoundedMemory is the regression gate for the streaming
+// Google-AS pipeline: running the ENTIRE experiment suite over a
+// disk-backed study — including the sessionizing figures, which now
+// consume StreamSessions over ScanByStart instead of a materialized
+// Google subset — must never buffer more than a small constant number
+// of decoded segments per dataset. The bound is expressed against the
+// decoded size of the full trace: if someone reintroduces a
+// materializing pass (Collect, GoogleFilterIter, Sessionize over a
+// collected slice) through the reader, the peak jumps to ~100% and
+// this test fails loudly.
+func TestAnalysisBoundedMemory(t *testing.T) {
+	const segRecords = 2048
+	opts := Options{Scale: 0.05, Span: 7 * 24 * time.Hour, Parallelism: 4}
+	opts.Store = &StoreOptions{Dir: t.TempDir(), SegmentRecords: segRecords}
+	s, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Experiments().RunAll(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	// ~64 bytes per decoded record (the reader's own gauge constant),
+	// ignoring the small shared dictionary strings.
+	approxTotal := s.store.TotalRecords() * 64
+	peak := s.store.PeakBufferedBytes()
+	if peak == 0 {
+		t.Fatal("peak buffered bytes is zero; the suite did not stream from the store")
+	}
+	// Generous ceiling: 20% of the trace (measured ~5%). Materializing
+	// any full dataset would exceed it several times over.
+	if limit := approxTotal / 5; peak > limit {
+		t.Errorf("peak buffered bytes = %d, want <= %d (~20%% of the %d-record trace); a pass is materializing the trace",
+			peak, limit, s.store.TotalRecords())
 	}
 }

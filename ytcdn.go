@@ -101,14 +101,24 @@ type Options struct {
 	// strictly sequential; 0 or negative means one worker per core.
 	// The computed tables and figures are bit-identical either way.
 	Parallelism int
-	// SimShards splits the simulation itself across engines, one group
-	// of vantage points per shard (the five monitored networks couple
-	// only through the selection engine, which is concurrency-safe).
-	// 0 or 1 means one engine for all vantage points; values above the
-	// number of vantage points are clamped. With SyncWindow == 0 the
-	// sharded run is bit-identical to the unsharded one at any shard
-	// count; pair it with a positive SyncWindow for wall-clock speedup.
+	// SimShards splits the simulation itself across engines (the
+	// monitored networks couple only through the selection engine,
+	// which is concurrency-safe). 0 or 1 means one engine for
+	// everything; values above the number of shardable units (vantage
+	// points, or subnets with ShardBySubnet) are clamped. With
+	// SyncWindow == 0 the sharded run is bit-identical to the unsharded
+	// one at any shard count and either ShardBy granularity; pair it
+	// with a positive SyncWindow for wall-clock speedup.
 	SimShards int
+	// ShardBy selects the unit SimShards distributes across engines.
+	// The default (ShardByVP) places whole vantage points; ShardBySubnet
+	// splits below the vantage point, placing per-subnet buckets — the
+	// right choice when one heavy VP (millions of users behind one ISP)
+	// would otherwise pin a single engine. Because every subnet owns its
+	// own workload and player RNG streams, both granularities produce
+	// bit-identical results at SyncWindow == 0; at a positive window,
+	// ShardBySubnet simply balances better. Ignored unless SimShards > 1.
+	ShardBy ShardBy
 	// SyncWindow bounds how far one simulation shard may run ahead of
 	// another (see des.ShardedRunner). 0 — the default — is the exact
 	// mode: shards advance through a sequential k-way merge that is
@@ -120,6 +130,20 @@ type Options struct {
 	// speedup. Ignored unless SimShards > 1.
 	SyncWindow time.Duration
 }
+
+// ShardBy names the unit of simulation sharding.
+type ShardBy string
+
+// Sharding granularities. The zero value means ShardByVP.
+const (
+	// ShardByVP assigns whole vantage points to engines (VP i → shard
+	// i mod SimShards).
+	ShardByVP ShardBy = "vp"
+	// ShardBySubnet assigns per-subnet buckets to engines round-robin
+	// in (VP, subnet) order, so a single heavy vantage point spreads
+	// across all engines.
+	ShardBySubnet ShardBy = "subnet"
+)
 
 // PolicySwitch schedules a mid-run selection-policy change.
 type PolicySwitch struct {
@@ -270,12 +294,26 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 	if opts.SyncWindow < 0 {
 		return nil, fmt.Errorf("ytcdn: SyncWindow %v must be >= 0", opts.SyncWindow)
 	}
+	shardBy := opts.ShardBy
+	if shardBy == "" {
+		shardBy = ShardByVP
+	}
+	if shardBy != ShardByVP && shardBy != ShardBySubnet {
+		return nil, fmt.Errorf("ytcdn: unknown ShardBy %q (want %q or %q)", shardBy, ShardByVP, ShardBySubnet)
+	}
+	units := len(w.VantagePoints)
+	if shardBy == ShardBySubnet {
+		units = 0
+		for _, vp := range w.VantagePoints {
+			units += len(vp.Subnets)
+		}
+	}
 	shardCount := opts.SimShards
 	if shardCount < 1 {
 		shardCount = 1
 	}
-	if n := len(w.VantagePoints); shardCount > n {
-		shardCount = n
+	if shardCount > units {
+		shardCount = units
 	}
 	syncWindow := opts.SyncWindow
 	if shardCount == 1 {
@@ -301,31 +339,63 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 		sink = capture.NewTeeSink(sink, opts.ExtraSink)
 	}
 
-	// One engine per shard, one simulator per vantage point. Each
-	// vantage point draws from its own "player-<name>" RNG stream, so
-	// its draw order depends only on its own event sequence — which is
-	// what makes any shard count with SyncWindow == 0 bit-identical to
-	// the single-engine run. Vantage points are assigned round-robin
-	// (VP i → shard i mod SimShards).
+	// One engine per shard, one simulator per bucket. Every SUBNET
+	// draws from its own pair of RNG streams ("workload-<vp>/subnet/<j>"
+	// arrivals, "player-<vp>/subnet/<j>" player behaviour), so a
+	// subnet's draw order depends only on its own event sequence — which
+	// is what makes any bucket grouping at any shard count with
+	// SyncWindow == 0 bit-identical to the single-engine run. ShardByVP
+	// groups each VP's subnets into one bucket on engine i mod
+	// SimShards; ShardBySubnet walks (VP, subnet) pairs round-robin, so
+	// one heavy VP's subnets land on distinct engines.
 	root := stats.NewRNG(opts.Seed)
 	engines := make([]*des.Engine, shardCount)
 	for i := range engines {
 		engines[i] = &des.Engine{}
 	}
-	sims := make([]*cdn.Simulator, len(w.VantagePoints))
-	for i := range w.VantagePoints {
-		name := w.VantagePoints[i].Name
-		eng := engines[i%shardCount]
-		sim, err := cdn.NewSimulator(w, cat, sel, eng, sink, playerCfg, root.Fork("player-"+name), opts.Span)
-		if err != nil {
-			return nil, fmt.Errorf("ytcdn: %w", err)
+	// groups[e][vp] lists the subnet indices of vp placed on engine e.
+	groups := make([]map[int][]int, shardCount)
+	for e := range groups {
+		groups[e] = make(map[int][]int)
+	}
+	if shardBy == ShardBySubnet {
+		k := 0
+		for i, vp := range w.VantagePoints {
+			for j := range vp.Subnets {
+				e := k % shardCount
+				groups[e][i] = append(groups[e][i], j)
+				k++
+			}
 		}
-		sims[i] = sim
-		gen, err := workload.NewGenerator(w, i, cat, opts.Span, root.Fork("workload-"+name))
-		if err != nil {
-			return nil, fmt.Errorf("ytcdn: %w", err)
+	} else {
+		for i := range w.VantagePoints {
+			e := i % shardCount
+			for j := range w.VantagePoints[i].Subnets {
+				groups[e][i] = append(groups[e][i], j)
+			}
 		}
-		gen.Schedule(eng, sim.SubmitSession)
+	}
+	var sims []*cdn.Simulator
+	for e := 0; e < shardCount; e++ {
+		// Deterministic bucket order: VP index ascending.
+		for i := range w.VantagePoints {
+			subnets := groups[e][i]
+			if len(subnets) == 0 {
+				continue
+			}
+			name := w.VantagePoints[i].Name
+			eng := engines[e]
+			sim, err := cdn.NewSimulator(w, cat, sel, eng, sink, playerCfg, root, opts.Span)
+			if err != nil {
+				return nil, fmt.Errorf("ytcdn: %w", err)
+			}
+			sims = append(sims, sim)
+			gen, err := workload.NewGeneratorSubset(w, i, subnets, cat, opts.Span, root.Fork("workload-"+name))
+			if err != nil {
+				return nil, fmt.Errorf("ytcdn: %w", err)
+			}
+			gen.Schedule(eng, sim.SubmitSession)
+		}
 	}
 
 	runner, err := des.NewShardedRunner(syncWindow, engines...)
@@ -481,6 +551,21 @@ func (s allDatasetsSource) Datasets() []string {
 // Iter streams a dataset; names absent from the source yield an empty
 // iterator.
 func (s allDatasetsSource) Iter(dataset string) capture.Iterator { return s.inner.Iter(dataset) }
+
+// ScanByStart forwards the store's start-ordered stream, preserving
+// the bounded-memory capability the streaming sessionizer keys on.
+// The inner source is always the tracestore reader (the in-memory
+// path never constructs an allDatasetsSource); anything else would be
+// a wiring bug, surfaced as an explicit iterator error rather than a
+// silently unordered stream.
+func (s allDatasetsSource) ScanByStart(dataset string) capture.Iterator {
+	if r, ok := s.inner.(interface {
+		ScanByStart(string) capture.Iterator
+	}); ok {
+		return r.ScanByStart(dataset)
+	}
+	return capture.ErrIter(fmt.Errorf("ytcdn: trace source %T has no start-ordered scan", s.inner))
+}
 
 // TotalFlows returns the number of flows captured across all datasets.
 func (s *Study) TotalFlows() int {
