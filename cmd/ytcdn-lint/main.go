@@ -1,0 +1,197 @@
+// Command ytcdn-lint is the repo's determinism & concurrency lint
+// suite (internal/lint) packaged two ways:
+//
+// As a vet tool, speaking cmd/go's unit-checker protocol, so the
+// custom analyzers run under the standard vet driver with its
+// per-package caching:
+//
+//	go build -o bin/ytcdn-lint ./cmd/ytcdn-lint
+//	go vet -vettool=$(pwd)/bin/ytcdn-lint ./...
+//
+// As a standalone command over package patterns, in which case it
+// first runs plain `go vet` (the standard analyzers) and then re-runs
+// the vet driver with itself as the vettool — custom and standard
+// checks in one invocation:
+//
+//	go run ./cmd/ytcdn-lint ./...
+//
+// Analyzers can be disabled individually (-detmap=false etc.), both
+// standalone and through `go vet -vettool=... -rngshare=false`.
+// Findings are suppressed line by line with `//lint:ok <analyzer>
+// <reason>`; the reason is mandatory.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"github.com/ytcdn-sim/ytcdn/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	enabled := make(map[string]bool)
+	for _, a := range lint.Analyzers() {
+		enabled[a.Name] = true
+	}
+	customOnly := false
+
+	var cfgFile string
+	var patterns []string
+	var toggles []string
+	for _, arg := range args {
+		switch {
+		case arg == "-flags":
+			return printFlags()
+		case arg == "-V=full" || arg == "-V":
+			return printVersion()
+		case arg == "-custom-only" || arg == "-custom-only=true":
+			customOnly = true
+		case strings.HasPrefix(arg, "-"):
+			name, value, ok := parseToggle(arg)
+			if !ok || !setEnabled(enabled, name, value) {
+				fmt.Fprintf(os.Stderr, "ytcdn-lint: unknown flag %s\n", arg)
+				return lint.ExitError
+			}
+			toggles = append(toggles, arg)
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgFile = arg
+		default:
+			patterns = append(patterns, arg)
+		}
+	}
+
+	var analyzers []*lint.Analyzer
+	for _, a := range lint.Analyzers() {
+		if enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	if cfgFile != "" {
+		return lint.RunVetUnit(cfgFile, analyzers, os.Stderr)
+	}
+	if len(patterns) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ytcdn-lint [-custom-only] [-<analyzer>=false ...] <package patterns>")
+		return lint.ExitError
+	}
+	return standalone(patterns, toggles, customOnly)
+}
+
+// standalone drives the vet front end twice: once bare for the
+// standard analyzers, once with this binary as the vettool for the
+// custom suite.
+func standalone(patterns, toggles []string, customOnly bool) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ytcdn-lint: %v\n", err)
+		return lint.ExitError
+	}
+	exit := 0
+	if !customOnly {
+		if code := runGoVet(nil, "", patterns); code != 0 {
+			exit = code
+		}
+	}
+	if code := runGoVet(toggles, self, patterns); code != 0 && exit == 0 {
+		exit = code
+	}
+	return exit
+}
+
+func runGoVet(toggles []string, vettool string, patterns []string) int {
+	args := []string{"vet"}
+	if vettool != "" {
+		args = append(args, "-vettool="+vettool)
+	}
+	args = append(args, toggles...)
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "ytcdn-lint: go vet: %v\n", err)
+		return lint.ExitError
+	}
+	return 0
+}
+
+func parseToggle(arg string) (name string, value, ok bool) {
+	arg = strings.TrimPrefix(arg, "-")
+	name, val, found := strings.Cut(arg, "=")
+	if !found {
+		return name, true, true
+	}
+	switch val {
+	case "true":
+		return name, true, true
+	case "false":
+		return name, false, true
+	}
+	return "", false, false
+}
+
+func setEnabled(enabled map[string]bool, name string, value bool) bool {
+	if _, ok := enabled[name]; !ok {
+		return false
+	}
+	enabled[name] = value
+	return true
+}
+
+// printFlags implements the `-flags` handshake: cmd/go asks an
+// external vettool which flags it accepts, as JSON, before passing any
+// through.
+func printFlags() int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{}
+	for _, a := range lint.Analyzers() {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: "enable the " + a.Name + " analyzer (default true): " + a.Doc})
+	}
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		return lint.ExitError
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+	return lint.ExitClean
+}
+
+// printVersion implements the `-V=full` handshake: cmd/go keys its
+// per-package vet cache on this line, so it must change whenever the
+// binary does — hence the content hash.
+func printVersion() int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ytcdn-lint: %v\n", err)
+		return lint.ExitError
+	}
+	f, err := os.Open(self)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ytcdn-lint: %v\n", err)
+		return lint.ExitError
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(os.Stderr, "ytcdn-lint: %v\n", err)
+		return lint.ExitError
+	}
+	fmt.Printf("ytcdn-lint version devel buildID=%x\n", h.Sum(nil))
+	return lint.ExitClean
+}

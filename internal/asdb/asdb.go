@@ -38,10 +38,13 @@ func (a AS) String() string { return fmt.Sprintf("AS%d (%s)", a.Number, a.Name) 
 // is done, any number of goroutines may Lookup concurrently (the lazy
 // sort on first lookup is mutex-guarded).
 type Registry struct {
-	mu      sync.Mutex // guards the lazy sort
+	mu sync.Mutex // guards the lazy sort
+	// entries is append-only during single-threaded registration and
+	// immutable after the first Lookup sorts it.
 	entries []entry
 	asNames map[ASN]string
-	sorted  bool
+	// guarded by mu
+	sorted bool
 }
 
 type entry struct {
@@ -61,6 +64,7 @@ func (r *Registry) Register(prefix ipnet.Prefix, as AS) {
 	}
 	r.entries = append(r.entries, entry{prefix: prefix, asn: as.Number})
 	r.asNames[as.Number] = as.Name
+	//lint:ok lockguard registration is single-threaded by contract (type doc); concurrency starts at the first Lookup
 	r.sorted = false
 }
 

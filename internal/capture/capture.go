@@ -159,7 +159,8 @@ var _ TraceSource = MapSource(nil)
 // concurrent use, so it survives being tee'd from studies running in
 // parallel.
 type MemSink struct {
-	mu        sync.Mutex
+	mu sync.Mutex
+	// guarded by mu
 	byDataset map[string][]FlowRecord
 }
 
@@ -242,8 +243,11 @@ var _ Sink = (*MemSink)(nil)
 // concurrent studies (RunMany with a common ExtraSink) produces an
 // interleaved but well-formed stream.
 type WriterSink struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
+	mu sync.Mutex
+	// guarded by mu
+	w *bufio.Writer
+	// err is sticky: the first write failure wins.
+	// guarded by mu
 	err error
 }
 

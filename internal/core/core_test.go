@@ -366,6 +366,34 @@ func TestPlacementPullIdempotent(t *testing.T) {
 	}
 }
 
+// TestForcedOriginsCopyDiscipline pins the aliasing contract around
+// the forced-origin map: ForceOrigins must not retain the caller's
+// slice, and Origins must not hand out the stored one.
+func TestForcedOriginsCopyDiscipline(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	us := r.vp(topology.DatasetUSCampus)
+	home := HomeOf(us)
+	dcs := r.w.GoogleDCs()
+	if len(dcs) < 2 {
+		t.Fatalf("need at least 2 DCs, have %d", len(dcs))
+	}
+	v := content.VideoID(700) // tail: rig TailRank is 400
+	pinned := []topology.DataCenterID{dcs[0]}
+	r.pl.ForceOrigins(v, pinned)
+
+	pinned[0] = dcs[1] // caller scribbles on its slice after pinning
+	got := r.pl.Origins(v, home.Continent, home.ForeignProb, home.Weights)
+	if len(got) != 1 || got[0] != dcs[0] {
+		t.Fatalf("pinned origin corrupted by caller-side mutation: got %v, want [%d]", got, dcs[0])
+	}
+
+	got[0] = dcs[1] // reader scribbles on the returned slice
+	again := r.pl.Origins(v, home.Continent, home.ForeignProb, home.Weights)
+	if len(again) != 1 || again[0] != dcs[0] {
+		t.Fatalf("pinned origin corrupted by reader-side mutation: got %v, want [%d]", again, dcs[0])
+	}
+}
+
 func TestNewPlacementValidation(t *testing.T) {
 	r := newRig(t, DefaultConfig())
 	if _, err := NewPlacement(r.w, r.cat, OriginPolicy{CopiesPerVideo: 0}); err == nil {

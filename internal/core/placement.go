@@ -77,16 +77,20 @@ type Placement struct {
 	dcsByContinent map[geo.Continent][]topology.DataCenterID
 	continents     []geo.Continent // deterministic iteration order
 
-	// mu guards pulled, forced and pulls — everything that mutates
-	// after construction.
+	// mu guards everything that mutates after construction; the
+	// guarded fields below carry machine-checked annotations (see
+	// internal/lint's lockguard analyzer).
 	mu sync.RWMutex
 	// pulled records (dc, video) pairs added by pull-through.
+	// guarded by mu
 	pulled map[pullKey]struct{}
 	// forced overrides the hashed origin set for specific videos
 	// (controlled experiments: a fresh upload lands where the ingest
 	// system put it).
+	// guarded by mu
 	forced map[content.VideoID][]topology.DataCenterID
 	// pulls counts pull-through insertions (exposed for ablations).
+	// guarded by mu
 	pulls int
 }
 
@@ -127,20 +131,23 @@ func (p *Placement) OriginContinent(v content.VideoID, home geo.Continent, forei
 		return home
 	}
 	// Rescale u into [0,1) over the foreign draw and walk the weights
-	// in deterministic continent order.
+	// in deterministic continent order. The normalizing sum runs over
+	// the sorted keys too: float addition is not associative, so
+	// summing in map order would make the total — and potentially the
+	// chosen continent — depend on Go's randomized iteration order.
 	u /= foreignProb
-	total := 0.0
-	for _, w := range weights {
-		total += w
-	}
-	if total <= 0 {
-		return home
-	}
 	ordered := make([]geo.Continent, 0, len(weights))
 	for cont := range weights {
 		ordered = append(ordered, cont)
 	}
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	total := 0.0
+	for _, cont := range ordered {
+		total += weights[cont]
+	}
+	if total <= 0 {
+		return home
+	}
 	acc := 0.0
 	for _, cont := range ordered {
 		acc += weights[cont] / total
@@ -156,7 +163,8 @@ func (p *Placement) OriginContinent(v content.VideoID, home geo.Continent, forei
 
 // Origins returns the origin data centers of a tail video for a
 // requester homed on `home`. The result is deterministic. For
-// replicated videos it returns nil (they are everywhere).
+// replicated videos it returns nil (they are everywhere). The returned
+// slice is freshly allocated and the caller's to keep or mutate.
 func (p *Placement) Origins(v content.VideoID, home geo.Continent, foreignProb float64, weights map[geo.Continent]float64) []topology.DataCenterID {
 	if !p.catalog.IsTail(v) {
 		return nil
@@ -165,7 +173,7 @@ func (p *Placement) Origins(v content.VideoID, home geo.Continent, foreignProb f
 	dcs, ok := p.forced[v]
 	p.mu.RUnlock()
 	if ok {
-		return dcs
+		return append([]topology.DataCenterID(nil), dcs...)
 	}
 	cont := p.OriginContinent(v, home, foreignProb, weights)
 	pool := p.dcsByContinent[cont]
@@ -240,12 +248,13 @@ func (p *Placement) PulledCount() int {
 
 // ForceOrigins pins a tail video's origin set, overriding the hashed
 // assignment. Used by controlled experiments that upload a fresh video
-// to a known ingest location (paper §VII-C).
+// to a known ingest location (paper §VII-C). The slice is copied, so
+// later caller-side mutations do not leak into the placement.
 func (p *Placement) ForceOrigins(v content.VideoID, dcs []topology.DataCenterID) {
 	p.mu.Lock()
 	if p.forced == nil {
 		p.forced = make(map[content.VideoID][]topology.DataCenterID)
 	}
-	p.forced[v] = dcs
+	p.forced[v] = append([]topology.DataCenterID(nil), dcs...)
 	p.mu.Unlock()
 }

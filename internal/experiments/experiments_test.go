@@ -87,6 +87,45 @@ func TestRunAllRendersEveryExperiment(t *testing.T) {
 	}
 }
 
+// TestAccessorCopyDiscipline pins that the exported map accessors hand
+// out copies: a caller deleting entries from a returned map must not
+// corrupt the harness's cached geolocation pipeline output.
+func TestAccessorCopyDiscipline(t *testing.T) {
+	h := New(buildInput(t))
+	regions, err := h.Geolocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs, err := h.Locations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nRegions, nLocs := len(regions), len(locs)
+	if nRegions == 0 || nLocs == 0 {
+		t.Fatal("geolocation produced no servers; fixture too small for this test")
+	}
+	for addr := range regions {
+		delete(regions, addr)
+	}
+	for addr := range locs {
+		delete(locs, addr)
+	}
+	regions2, err := h.Geolocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions2) != nRegions {
+		t.Errorf("cached region map shrank from %d to %d after caller-side deletes", nRegions, len(regions2))
+	}
+	locs2, err := h.Locations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs2) != nLocs {
+		t.Errorf("cached location map shrank from %d to %d after caller-side deletes", nLocs, len(locs2))
+	}
+}
+
 func TestHarnessCaching(t *testing.T) {
 	h := New(buildInput(t))
 	r1, err := h.Geolocate()

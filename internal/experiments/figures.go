@@ -66,7 +66,7 @@ type Fig03Result struct {
 
 // Fig03CBGRadius geolocates all servers and collects radii.
 func (h *Harness) Fig03CBGRadius() (*Fig03Result, error) {
-	regions, err := h.Geolocate()
+	regions, err := h.geolocate()
 	if err != nil {
 		return nil, err
 	}

@@ -76,13 +76,18 @@ type Harness struct {
 	regions   map[ipnet.Addr]geoloc.Region
 	locations map[ipnet.Addr]geo.Point
 
-	mu        sync.Mutex // guards the cell maps
+	mu sync.Mutex // guards the cell maps
+	// guarded by mu
 	campaigns map[string]*cell[map[ipnet.Addr]float64]
-	perDS     map[string]*cell[*dataset]
-	starts    map[string]*cell[func() capture.Iterator]
+	// guarded by mu
+	perDS map[string]*cell[*dataset]
+	// guarded by mu
+	starts map[string]*cell[func() capture.Iterator]
 
-	plMu   sync.Mutex // serializes PlanetLab runs (they mutate the placement)
-	plRuns int        // PlanetLab invocations (each uploads a fresh video)
+	plMu sync.Mutex // serializes PlanetLab runs (they mutate the placement)
+	// plRuns counts PlanetLab invocations (each uploads a fresh video).
+	// guarded by plMu
+	plRuns int
 }
 
 // cell computes a value exactly once, caching result and error, while
@@ -295,7 +300,25 @@ func (h *Harness) datasetServers(vpName string) ([]ipnet.Addr, error) {
 // the worker pool; each server's measurement noise comes from a stream
 // forked by server address, and results merge in sorted-address order,
 // so the outcome does not depend on the pool size.
+//
+// The returned map is a copy; mutating it does not corrupt the cached
+// pipeline output. In-package callers on hot paths use the live
+// geolocate instead.
 func (h *Harness) Geolocate() (map[ipnet.Addr]geoloc.Region, error) {
+	regions, err := h.geolocate()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[ipnet.Addr]geoloc.Region, len(regions))
+	for addr, r := range regions {
+		out[addr] = r
+	}
+	return out, nil
+}
+
+// geolocate returns the live cached region map, shared across callers;
+// it must be treated as read-only.
+func (h *Harness) geolocate() (map[ipnet.Addr]geoloc.Region, error) {
 	h.geoOnce.Do(func() {
 		lms := h.prober.LandmarkInfos()
 		cross := h.prober.CrossRTTMatrixParallel(5, h.par)
@@ -337,9 +360,24 @@ func (h *Harness) Geolocate() (map[ipnet.Addr]geoloc.Region, error) {
 	return h.regions, h.geoErr
 }
 
-// Locations returns the CBG position estimates per server.
+// Locations returns the CBG position estimates per server. The
+// returned map is a copy; mutating it does not corrupt the cache.
 func (h *Harness) Locations() (map[ipnet.Addr]geo.Point, error) {
-	if _, err := h.Geolocate(); err != nil {
+	locs, err := h.liveLocations()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[ipnet.Addr]geo.Point, len(locs))
+	for addr, p := range locs {
+		out[addr] = p
+	}
+	return out, nil
+}
+
+// liveLocations returns the live cached position map, shared across
+// callers; it must be treated as read-only.
+func (h *Harness) liveLocations() (map[ipnet.Addr]geo.Point, error) {
+	if _, err := h.geolocate(); err != nil {
 		return nil, err
 	}
 	return h.locations, nil
@@ -372,7 +410,7 @@ func (h *Harness) buildDataset(name string) (*dataset, error) {
 	if !h.hasDataset(name) {
 		return nil, fmt.Errorf("experiments: no trace for %q", name)
 	}
-	locs, err := h.Locations()
+	locs, err := h.liveLocations()
 	if err != nil {
 		return nil, err
 	}
@@ -452,7 +490,7 @@ func (h *Harness) buildDataset(name string) (*dataset, error) {
 // After Warm, every table and figure is a cheap aggregation. Warm is
 // idempotent and returns the first error in dataset order.
 func (h *Harness) Warm() error {
-	if _, err := h.Geolocate(); err != nil {
+	if _, err := h.geolocate(); err != nil {
 		return err
 	}
 	names := h.DatasetNames()

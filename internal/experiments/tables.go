@@ -111,7 +111,7 @@ type TableIIIResult struct {
 // TableIII geolocates every Google server seen per dataset and counts
 // by continent.
 func (h *Harness) TableIII() (*TableIIIResult, error) {
-	locs, err := h.Locations()
+	locs, err := h.liveLocations()
 	if err != nil {
 		return nil, err
 	}

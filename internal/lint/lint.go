@@ -1,0 +1,186 @@
+// Package lint is the repo's static layer: a small, dependency-free
+// analysis framework (in the spirit of golang.org/x/tools/go/analysis,
+// which this module deliberately does not depend on) plus the four
+// analyzers that encode the invariants every parity suite in this
+// repository leans on — map-iteration determinism, RNG purity, RNG
+// stream ownership, and mutex guard discipline.
+//
+// The framework runs one package at a time over parsed, type-checked
+// source. It is driven two ways: by cmd/ytcdn-lint speaking the
+// `go vet -vettool` unit-checker protocol (see unitchecker.go), and by
+// the in-process loader used by the analysistest-style fixture tests
+// (see load.go and the linttest package).
+//
+// Findings are suppressed line by line with
+//
+//	//lint:ok <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it. The reason
+// is mandatory: a suppression without one is itself reported, so every
+// escape hatch in the tree documents why it is safe.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:ok
+	// suppression directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one package's parsed and type-checked source to an
+// analyzer and collects its diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's syntax trees, comments included.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, positioned in the file set of the pass
+// that produced it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos sits in a _test.go file. All four
+// analyzers skip test files: the dynamic suites already execute tests
+// under the race detector and with fixed seeds, and test-local
+// shortcuts (wall-clock timing in benchmarks, ad-hoc RNGs) are part of
+// their job. The static layer polices the production paths.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Analyzers returns the full suite in deterministic order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetMap, RNGPurity, RNGShare, LockGuard}
+}
+
+// suppressionRe matches a //lint:ok directive. Group 1 is the analyzer
+// name, group 2 the (possibly empty) reason.
+var suppressionRe = regexp.MustCompile(`//lint:ok\s+([A-Za-z0-9_-]+)\s*(.*)`)
+
+// suppression is one parsed //lint:ok directive.
+type suppression struct {
+	analyzer string
+	reason   string
+	line     int
+	pos      token.Pos
+}
+
+// collectSuppressions parses every //lint:ok directive in the files.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
+	var out []suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := suppressionRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				out = append(out, suppression{
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+					line:     fset.Position(c.Pos()).Line,
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over one package and returns the
+// surviving diagnostics sorted by position. Suppressions are applied
+// here: a finding whose line (or the line above it) carries a
+// //lint:ok directive naming the same analyzer is dropped, and a
+// directive naming an analyzer in this run but missing its reason is
+// reported as a finding of that analyzer.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
+		a.Run(pass)
+		diags = append(diags, pass.diags...)
+	}
+
+	sups := collectSuppressions(fset, files)
+	running := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	for _, s := range sups {
+		if running[s.analyzer] && s.reason == "" {
+			diags = append(diags, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: s.analyzer,
+				Message:  fmt.Sprintf("//lint:ok %s needs a reason: state why the flagged code is safe", s.analyzer),
+			})
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(fset, sups, d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := fset.Position(kept[i].Pos), fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return kept[i].Message < kept[j].Message
+	})
+	return kept
+}
+
+// suppressed reports whether d is covered by a reasoned directive on
+// its own line or the line directly above.
+func suppressed(fset *token.FileSet, sups []suppression, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, s := range sups {
+		if s.analyzer != d.Analyzer || s.reason == "" {
+			continue
+		}
+		if fset.Position(s.pos).Filename != pos.Filename {
+			continue
+		}
+		if s.line == pos.Line || s.line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

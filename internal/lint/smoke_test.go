@@ -1,0 +1,47 @@
+package lint_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"github.com/ytcdn-sim/ytcdn/internal/lint"
+)
+
+// TestMultichecker runs the real multichecker binary over
+// ./internal/stats through the `go vet -vettool` protocol — the exact
+// invocation CI uses — and asserts zero diagnostics.
+func TestMultichecker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and invokes go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "ytcdn-lint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/ytcdn-lint")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ytcdn-lint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/stats")
+	vet.Dir = "../.."
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool over ./internal/stats reported diagnostics or failed: %v\n%s", err, out)
+	}
+}
+
+// TestSuiteCleanInProcess re-checks ./internal/stats with the
+// in-process loader: the same analyzers must be silent regardless of
+// the driver.
+func TestSuiteCleanInProcess(t *testing.T) {
+	units, err := lint.Load("../..", "./internal/stats")
+	if err != nil {
+		t.Fatalf("loading ./internal/stats: %v", err)
+	}
+	for _, u := range units {
+		if diags := lint.Run(u.Fset, u.Files, u.Pkg, u.Info, lint.Analyzers()); len(diags) != 0 {
+			for _, d := range diags {
+				t.Errorf("%s: [%s] %s", u.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			}
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package badok carries a //lint:ok directive with no reason: the
+// directive itself must be reported, and it must not suppress the
+// finding it sits on.
+package badok
+
+// Keys returns map keys in arbitrary order.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:ok detmap
+		out = append(out, k)
+	}
+	return out
+}

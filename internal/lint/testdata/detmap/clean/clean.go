@@ -1,0 +1,66 @@
+// Package clean holds deterministic map iterations detmap must not
+// flag.
+package clean
+
+import "sort"
+
+// SortedAppend accumulates, then restores a deterministic order.
+func SortedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SortedSliceAppend restores order with sort.Slice.
+func SortedSliceAppend(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// LoopLocal accumulates into a slice scoped to one iteration.
+func LoopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		n += len(local)
+	}
+	return n
+}
+
+// KeyedWrites are order-independent.
+func KeyedWrites(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}
+
+// IntSum is exact: integer addition is associative.
+func IntSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+type holder struct{ fields []string }
+
+// FieldAppendSorted sorts the field after the loop.
+func FieldAppendSorted(h *holder, m map[string]int) {
+	for k := range m {
+		h.fields = append(h.fields, k)
+	}
+	sort.Strings(h.fields)
+}

@@ -1,0 +1,54 @@
+// Package flagged exercises every detmap trigger.
+package flagged
+
+import "example.com/detmapfix/internal/capture"
+
+// UnsortedAppend accumulates map keys and never sorts them.
+func UnsortedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out"
+	}
+	return out
+}
+
+// FloatSum accumulates floats in map iteration order.
+func FloatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "float accumulation into total"
+	}
+	return total
+}
+
+// FloatSumExplicit uses the x = x + v spelling.
+func FloatSumExplicit(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "float accumulation into total"
+	}
+	return total
+}
+
+// SinkWrite emits trace records in map iteration order.
+func SinkWrite(sink capture.Sink, m map[string]int) {
+	for k := range m {
+		sink.Record(k, 1) // want "capture-sink write"
+	}
+}
+
+// MemSinkWrite emits through a concrete sink type.
+func MemSinkWrite(sink *capture.MemSink, m map[string]int) {
+	for k, v := range m {
+		sink.Record(k, v) // want "capture-sink write"
+	}
+}
+
+type acc struct{ names []string }
+
+// FieldAppend accumulates into a field of an outer struct.
+func FieldAppend(a *acc, m map[string]int) {
+	for k := range m {
+		a.names = append(a.names, k) // want "append to a.names"
+	}
+}

@@ -1,0 +1,3 @@
+module example.com/detmapfix
+
+go 1.21

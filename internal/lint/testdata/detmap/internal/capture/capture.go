@@ -1,0 +1,14 @@
+// Package capture is a stand-in for the real trace sink package; the
+// detmap analyzer recognizes it by its import-path suffix.
+package capture
+
+// Sink consumes records.
+type Sink interface {
+	Record(dataset string, v int)
+}
+
+// MemSink is a concrete sink.
+type MemSink struct{ n int }
+
+// Record implements Sink.
+func (m *MemSink) Record(dataset string, v int) { m.n++ }

@@ -1,0 +1,49 @@
+// Package clean holds guarded-field access patterns lockguard accepts.
+package clean
+
+import "sync"
+
+// Gauge is an RWMutex-guarded value.
+type Gauge struct {
+	mu sync.RWMutex
+	// guarded by mu
+	v float64
+}
+
+// NewGauge constructs before sharing; composite-literal keys are
+// exempt by shape.
+func NewGauge(v float64) *Gauge {
+	return &Gauge{v: v}
+}
+
+// Set takes the write lock.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = v
+}
+
+// Get takes the read lock.
+func (g *Gauge) Get() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+// Sum goes through the locking accessor, never the field.
+func Sum(gs []*Gauge) float64 {
+	total := 0.0
+	for _, g := range gs {
+		total += g.Get()
+	}
+	return total
+}
+
+// TwoGauges locks both receivers it touches.
+func TwoGauges(a, b *Gauge) float64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return a.v + b.v
+}

@@ -1,0 +1,35 @@
+// Package flagged exercises the lockguard triggers.
+package flagged
+
+import "sync"
+
+// Counter is a mutex-guarded counter.
+type Counter struct {
+	mu sync.Mutex
+	// guarded by mu
+	n int
+}
+
+// Add locks correctly.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Peek reads the guarded field without the lock.
+func (c *Counter) Peek() int {
+	return c.n // want "guarded by mu"
+}
+
+// Reset writes it without the lock from outside a method.
+func Reset(c *Counter) {
+	c.n = 0 // want "guarded by mu"
+}
+
+// WrongMutex locks a different receiver's mutex.
+func WrongMutex(a, b *Counter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.n++ // want "guarded by mu"
+}

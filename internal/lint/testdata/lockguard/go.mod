@@ -1,0 +1,3 @@
+module example.com/lockguardfix
+
+go 1.21

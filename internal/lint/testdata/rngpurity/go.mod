@@ -1,0 +1,3 @@
+module example.com/rngpurityfix
+
+go 1.21

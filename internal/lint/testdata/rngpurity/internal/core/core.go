@@ -1,0 +1,31 @@
+// Package core stands in for a simulation package whose RNG use
+// follows the rules: seeds pass through untouched, streams derive via
+// Fork/ForkIndexed, and time is only ever a duration.
+package core
+
+import (
+	"time"
+
+	"example.com/rngpurityfix/internal/stats"
+)
+
+// Config carries the study seed.
+type Config struct{ Seed int64 }
+
+// Root builds the root stream from a passed-through seed.
+func Root(cfg Config) *stats.RNG { return stats.NewRNG(cfg.Seed) }
+
+// RootFromValue passes a plain identifier.
+func RootFromValue(seed int64) *stats.RNG { return stats.NewRNG(seed) }
+
+// RootConverted converts without computing.
+func RootConverted(seed int) *stats.RNG { return stats.NewRNG(int64(seed)) }
+
+// Children derive with Fork and ForkIndexed.
+func Children(g *stats.RNG, i int) *stats.RNG {
+	child := g.Fork("placement")
+	return child.ForkIndexed("subnet", i)
+}
+
+// Span manipulates durations, not instants.
+func Span(d time.Duration) time.Duration { return d * 2 }

@@ -1,0 +1,11 @@
+// Package des demonstrates a reasoned rngpurity suppression.
+package des
+
+import "time"
+
+// Deadline is a watchdog, not a simulation input: it bounds how long a
+// stuck run may hold a CI worker.
+func Deadline() time.Time {
+	//lint:ok rngpurity watchdog deadline only — the value never feeds simulated state
+	return time.Now().Add(10 * time.Minute)
+}

@@ -1,0 +1,14 @@
+// Package outside is not a simulation/analysis package, so rngpurity
+// leaves it alone.
+package outside
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter may use whatever randomness it likes out of scope.
+func Jitter() time.Duration {
+	_ = time.Now()
+	return time.Duration(rand.Intn(100)) * time.Millisecond
+}

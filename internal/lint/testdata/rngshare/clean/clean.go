@@ -1,0 +1,56 @@
+// Package clean holds goroutine/RNG patterns that follow the
+// fork-per-owner contract.
+package clean
+
+import (
+	"example.com/rngsharefix/internal/par"
+	"example.com/rngsharefix/internal/stats"
+)
+
+// ForkPerGoroutine derives one child per goroutine; Fork reads only
+// the immutable seed and is safe on a shared stream.
+func ForkPerGoroutine(g *stats.RNG, done chan struct{}) {
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			child := g.ForkIndexed("worker", i)
+			_ = child.Float64()
+			done <- struct{}{}
+		}(i)
+	}
+}
+
+// HandOffChild passes a forked child and keeps the parent.
+func HandOffChild(g *stats.RNG, done chan struct{}) {
+	go use(g.Fork("child"), done)
+	_ = g.Float64()
+	<-done
+}
+
+// ExclusiveHandOff gives the stream away entirely: the spawning path
+// never draws again, so ownership transfers.
+func ExclusiveHandOff(g *stats.RNG, done chan struct{}) {
+	go use(g, done)
+	<-done
+}
+
+// PoolForks derives a per-item stream inside the pool closure.
+func PoolForks(g *stats.RNG) {
+	par.ForEach(8, 4, func(i int) {
+		_ = g.ForkIndexed("item", i).Float64()
+	})
+}
+
+// GoroutineLocal creates its stream inside the goroutine.
+func GoroutineLocal(seed int64, done chan struct{}) {
+	go func() {
+		g := stats.NewRNG(seed)
+		_ = g.Float64()
+		close(done)
+	}()
+	<-done
+}
+
+func use(g *stats.RNG, done chan struct{}) {
+	_ = g.Float64()
+	close(done)
+}

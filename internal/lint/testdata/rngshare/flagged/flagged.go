@@ -1,0 +1,46 @@
+// Package flagged exercises every rngshare trigger.
+package flagged
+
+import (
+	"example.com/rngsharefix/internal/par"
+	"example.com/rngsharefix/internal/stats"
+)
+
+// BothSides draws on the goroutine and on the spawning path.
+func BothSides(g *stats.RNG, done chan struct{}) {
+	go func() {
+		_ = g.Float64() // want "both this goroutine and its spawning path"
+		close(done)
+	}()
+	_ = g.Float64()
+	<-done
+}
+
+// Looped spawns goroutines in a loop; its instances share one stream.
+func Looped(g *stats.RNG, done chan struct{}) {
+	for i := 0; i < 4; i++ {
+		go func() {
+			_ = g.Intn(10) // want "spawned in a loop"
+			done <- struct{}{}
+		}()
+	}
+}
+
+// Pooled draws from one stream on every pool worker.
+func Pooled(g *stats.RNG) {
+	par.ForEach(8, 4, func(i int) {
+		_ = g.Float64() // want "worker-pool closure"
+	})
+}
+
+// Passed hands the stream to a goroutine and keeps drawing.
+func Passed(g *stats.RNG, done chan struct{}) {
+	go drain(g, done) // want "both this goroutine and its spawning path"
+	_ = g.Float64()
+	<-done
+}
+
+func drain(g *stats.RNG, done chan struct{}) {
+	_ = g.Float64()
+	close(done)
+}

@@ -1,0 +1,3 @@
+module example.com/rngsharefix
+
+go 1.21

@@ -1,0 +1,11 @@
+// Package par is a stand-in for the real worker-pool package; the
+// rngshare analyzer recognizes it by its import-path suffix and treats
+// closures passed to it as running on multiple goroutines.
+package par
+
+// ForEach runs fn(0..n-1) across workers goroutines.
+func ForEach(n, workers int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

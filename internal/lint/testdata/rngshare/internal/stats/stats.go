@@ -1,0 +1,26 @@
+// Package stats is a stand-in for the real deterministic-stream
+// package; the rngshare analyzer recognizes it by its import-path
+// suffix.
+package stats
+
+// RNG is a deterministic stream. Draws are not safe for concurrent
+// use; Fork/ForkIndexed/Seed are.
+type RNG struct{ seed int64 }
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG { return &RNG{seed: seed} }
+
+// Seed returns the stream's seed.
+func (g *RNG) Seed() int64 { return g.seed }
+
+// Fork derives an independent child stream.
+func (g *RNG) Fork(name string) *RNG { return NewRNG(g.seed ^ int64(len(name))) }
+
+// ForkIndexed derives the i-th stream of a bucketed family.
+func (g *RNG) ForkIndexed(name string, i int) *RNG { return g.Fork(name) }
+
+// Float64 draws from the stream.
+func (g *RNG) Float64() float64 { return 0.5 }
+
+// Intn draws from the stream.
+func (g *RNG) Intn(n int) int { return n / 2 }

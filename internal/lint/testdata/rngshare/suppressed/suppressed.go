@@ -1,0 +1,17 @@
+// Package suppressed demonstrates a reasoned rngshare escape.
+package suppressed
+
+import "example.com/rngsharefix/internal/stats"
+
+// PingPong alternates ownership: the spawning path blocks on the
+// channel before its next draw, so the stream is never drawn from by
+// two goroutines at once.
+func PingPong(g *stats.RNG, turn chan struct{}) {
+	go func() {
+		//lint:ok rngshare ownership alternates over the turn channel; draws never overlap
+		_ = g.Float64()
+		turn <- struct{}{}
+	}()
+	<-turn
+	_ = g.Float64()
+}

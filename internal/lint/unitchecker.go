@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// vetConfig mirrors the JSON configuration `go vet` writes for each
+// compilation unit when driving an external -vettool. The field set is
+// the stable contract cmd/go has used since Go 1.12 (the same one
+// golang.org/x/tools/go/analysis/unitchecker consumes).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Exit codes of the unit-checker protocol: 0 clean, 1 tool/typecheck
+// failure, 2 diagnostics reported (go vet treats any nonzero exit as a
+// finding and relays stderr).
+const (
+	ExitClean       = 0
+	ExitError       = 1
+	ExitDiagnostics = 2
+)
+
+// RunVetUnit analyzes the single compilation unit described by the
+// go vet config file at cfgPath and returns the process exit code.
+// Diagnostics and errors are printed to stderr. Packages outside any
+// module (the standard library and toolchain-internal dependencies
+// go vet also schedules) are skipped: the suite encodes this repo's
+// invariants, not Go's.
+func RunVetUnit(cfgPath string, analyzers []*Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "ytcdn-lint: %v\n", err)
+		return ExitError
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "ytcdn-lint: parsing %s: %v\n", cfgPath, err)
+		return ExitError
+	}
+
+	// The facts file must exist for cmd/go to cache the result. The
+	// suite is intra-package and passes no facts, so it is empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "ytcdn-lint: %v\n", err)
+			return ExitError
+		}
+	}
+	if cfg.ModulePath == "" || cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return ExitClean
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	resolver := mappedImporter{imp: imp, importMap: cfg.ImportMap}
+
+	unit, err := checkPackage(fset, resolver, cfg.ImportPath, cfg.Dir, cfg.GoFiles, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return ExitClean
+		}
+		fmt.Fprintf(stderr, "ytcdn-lint: %v\n", err)
+		return ExitError
+	}
+
+	diags := Run(unit.Fset, unit.Files, unit.Pkg, unit.Info, analyzers)
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return ExitDiagnostics
+	}
+	return ExitClean
+}
+
+// mappedImporter applies the config's ImportMap (source import path →
+// canonical package path) before delegating to the gc importer.
+type mappedImporter struct {
+	imp       types.Importer
+	importMap map[string]string
+}
+
+func (m mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	return m.imp.Import(path)
+}
