@@ -4,6 +4,11 @@
 // experiment), and the full analysis pipeline, printing paper-style
 // output for Tables I-III and Figures 2-18.
 //
+// stdout carries only the machine-parseable results (the tables and
+// figures); progress and timing lines go to stderr. The observability
+// flags (-metrics-addr, -report, -progress) expose the pipeline while
+// it runs and as an end-of-run artifact.
+//
 // Usage:
 //
 //	ytcdn-experiments -scale 1.0                    # full paper scale (~1 min)
@@ -11,6 +16,7 @@
 //	ytcdn-experiments -scale 1.0 -store /tmp/yt     # flat RSS: traces spill to disk
 //	ytcdn-experiments -policy client-race           # the suite under another policy
 //	ytcdn-experiments -compare-policies             # one study per built-in policy
+//	ytcdn-experiments -metrics-addr :9090 -report run.json
 package main
 
 import (
@@ -19,10 +25,12 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	ytcdn "github.com/ytcdn-sim/ytcdn"
+	"github.com/ytcdn-sim/ytcdn/internal/obscli"
 )
 
 func main() {
@@ -48,7 +56,13 @@ func main() {
 		"sharding unit: vp (whole vantage points) or subnet (sub-VP buckets, spreads one heavy network across engines)")
 	syncWindow := flag.Duration("sync-window", 0,
 		"shard lockstep window (0 = exact k-way merge, bit-identical to sequential; >0 = concurrent with bounded load staleness)")
+	obsFlags := obscli.Register()
 	flag.Parse()
+
+	session, err := obsFlags.Start("ytcdn-experiments")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	opts := ytcdn.Options{
 		Scale:       *scale,
@@ -58,11 +72,23 @@ func main() {
 		SimShards:   *simShards,
 		ShardBy:     ytcdn.ShardBy(*shardBy),
 		SyncWindow:  *syncWindow,
+		Metrics:     session.Registry(),
+		Profiler:    session.Profiler(),
 	}
 	if *storeDir != "" {
 		opts.Store = &ytcdn.StoreOptions{Dir: *storeDir, SegmentRecords: *segment}
 	} else if *segment != 0 {
 		log.Fatal("-segment requires -store")
+	}
+	reportConfig := map[string]string{
+		"scale":       fmt.Sprintf("%g", *scale),
+		"days":        strconv.Itoa(*days),
+		"seed":        strconv.FormatInt(*seed, 10),
+		"policy":      *policy,
+		"sim_shards":  strconv.Itoa(*simShards),
+		"shard_by":    *shardBy,
+		"sync_window": syncWindow.String(),
+		"parallelism": strconv.Itoa(*parallelism),
 	}
 
 	start := time.Now()
@@ -74,9 +100,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("# policy comparison: scale %.3f, %d days, seed %d, %v\n\n",
+		fmt.Fprintf(os.Stderr, "# policy comparison: scale %.3f, %d days, seed %d, %v\n",
 			*scale, *days, *seed, time.Since(start).Round(time.Millisecond))
 		fmt.Println(cmp.Render())
+		if err := session.Close(reportConfig); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	if *policy != "paper" {
@@ -86,7 +115,9 @@ func main() {
 		}
 		opts.Policy = p
 	}
+	simDone := session.Phase("simulation")
 	study, err := ytcdn.Run(opts)
+	simDone()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,11 +129,15 @@ func main() {
 	if study.SimShards > 1 {
 		mode = fmt.Sprintf("%d sim %s-shards, window %v", study.SimShards, *shardBy, *syncWindow)
 	}
-	fmt.Printf("# simulation: policy %s, scale %.3f, %d days, %d flows %s, %v (%s, analysis parallelism %d)\n\n",
+	fmt.Fprintf(os.Stderr, "# simulation: policy %s, scale %.3f, %d days, %d flows %s, %v (%s, analysis parallelism %d)\n",
 		*policy, *scale, *days, study.TotalFlows(), where, time.Since(start).Round(time.Millisecond), mode, *parallelism)
 
 	if err := study.Experiments().RunAll(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("# total %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "# total %v\n", time.Since(start).Round(time.Millisecond))
+
+	if err := session.Close(reportConfig); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"github.com/ytcdn-sim/ytcdn/internal/geo"
@@ -37,14 +38,14 @@ func main() {
 	}
 	prober := probe.New(w, stats.NewRNG(*seed))
 
-	fmt.Printf("calibrating CBG on %d landmarks...\n", len(w.Landmarks))
+	fmt.Fprintf(os.Stderr, "calibrating CBG on %d landmarks...\n", len(w.Landmarks))
 	start := time.Now()
 	cross := prober.CrossRTTMatrix(5)
 	cbg, err := geoloc.Calibrate(prober.LandmarkInfos(), func(i, j int) time.Duration { return cross[i][j] })
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("calibration done in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "calibration done in %v\n", time.Since(start).Round(time.Millisecond))
 
 	staticDB := geoloc.NewMountainViewDB()
 	cbgErr := &stats.CDF{}

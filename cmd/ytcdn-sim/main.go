@@ -3,9 +3,15 @@
 // end_us, bytes, VideoID, resolution), one line per flow — the same
 // records a Tstat probe at each vantage point would log.
 //
+// The trace goes to the -o file; stdout carries nothing. All progress
+// and summary output goes to stderr, so the command composes cleanly
+// in pipelines. The observability flags (-metrics-addr, -report,
+// -progress) expose the run while it executes and as an artifact.
+//
 // Usage:
 //
 //	ytcdn-sim -scale 0.1 -days 7 -o traces.tsv
+//	ytcdn-sim -scale 0.3 -sim-shards 5 -sync-window 60s -metrics-addr :9090
 package main
 
 import (
@@ -13,11 +19,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	ytcdn "github.com/ytcdn-sim/ytcdn"
 	"github.com/ytcdn-sim/ytcdn/internal/capture"
+	"github.com/ytcdn-sim/ytcdn/internal/obscli"
 )
 
 func main() {
@@ -36,9 +44,15 @@ func main() {
 		"sharding unit: vp (whole vantage points) or subnet (sub-VP buckets, spreads one heavy network across engines)")
 	syncWindow := flag.Duration("sync-window", 0,
 		"shard lockstep window (0 = exact k-way merge, bit-identical to sequential; >0 = concurrent with bounded load staleness)")
+	obsFlags := obscli.Register()
 	flag.Parse()
 
 	pol, err := ytcdn.PolicyByName(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	session, err := obsFlags.Start("ytcdn-sim")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,6 +65,7 @@ func main() {
 
 	ws := capture.NewWriterSink(f)
 	start := time.Now()
+	simDone := session.Phase("simulation")
 	study, err := ytcdn.Run(ytcdn.Options{
 		Scale:      *scale,
 		Span:       time.Duration(*days) * 24 * time.Hour,
@@ -60,7 +75,9 @@ func main() {
 		SimShards:  *simShards,
 		ShardBy:    ytcdn.ShardBy(*shardBy),
 		SyncWindow: *syncWindow,
+		Metrics:    session.Registry(),
 	})
+	simDone()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +89,9 @@ func main() {
 	if study.SimShards > 1 {
 		mode = fmt.Sprintf("%d %s-shards, window %v", study.SimShards, *shardBy, *syncWindow)
 	}
-	fmt.Printf("simulated %d days at scale %.3f under policy %s (%s) in %v\n",
+	// Summary lines are progress/log output: stderr, so stdout stays
+	// machine-parseable (the trace itself goes to -o).
+	fmt.Fprintf(os.Stderr, "simulated %d days at scale %.3f under policy %s (%s) in %v\n",
 		*days, *scale, *policy, mode, time.Since(start).Round(time.Millisecond))
 	for _, name := range ytcdn.DatasetNames() {
 		trace := study.Trace(name)
@@ -80,12 +99,24 @@ func main() {
 		for _, r := range trace {
 			bytes += r.Bytes
 		}
-		fmt.Printf("  %-12s %8d flows  %8.2f GB\n", name, len(trace), float64(bytes)/1e9)
+		fmt.Fprintf(os.Stderr, "  %-12s %8d flows  %8.2f GB\n", name, len(trace), float64(bytes)/1e9)
 	}
 	spills, hotspots, misses := study.Selector.Counters()
-	fmt.Printf("mechanisms: %d DNS spills, %d hotspot redirects, %d content misses\n", spills, hotspots, misses)
+	fmt.Fprintf(os.Stderr, "mechanisms: %d DNS spills, %d hotspot redirects, %d content misses\n", spills, hotspots, misses)
 	m := study.Selection
-	fmt.Printf("selection: %.1f%% of %d chains served from preferred DC, mean RTT %.2f ms, %.3f redirects/chain\n",
+	fmt.Fprintf(os.Stderr, "selection: %.1f%% of %d chains served from preferred DC, mean RTT %.2f ms, %.3f redirects/chain\n",
 		m.PreferredFrac()*100, m.Chains, m.MeanServedRTTms(), m.MeanRedirects())
-	fmt.Printf("trace written to %s\n", *out)
+	fmt.Fprintf(os.Stderr, "trace written to %s\n", *out)
+
+	if err := session.Close(map[string]string{
+		"scale":       fmt.Sprintf("%g", *scale),
+		"days":        strconv.Itoa(*days),
+		"seed":        strconv.FormatInt(*seed, 10),
+		"policy":      *policy,
+		"sim_shards":  strconv.Itoa(study.SimShards),
+		"shard_by":    *shardBy,
+		"sync_window": syncWindow.String(),
+	}); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"github.com/ytcdn-sim/ytcdn/internal/geo"
 	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
 	"github.com/ytcdn-sim/ytcdn/internal/netmodel"
+	"github.com/ytcdn-sim/ytcdn/internal/obs"
 	"github.com/ytcdn-sim/ytcdn/internal/stats"
 	"github.com/ytcdn-sim/ytcdn/internal/topology"
 )
@@ -186,6 +187,28 @@ type Simulator struct {
 	flows     int
 	truncated int // flows dropped because they started at/after span
 	metrics   SelectionMetrics
+
+	// inst is the optional deterministic-plane instrumentation (see
+	// Instrument); nil when metrics are off. Everything recorded here
+	// is derived from sim time and event counts the simulator computes
+	// anyway, so recording draws no randomness and schedules nothing:
+	// a run with inst set is bit-identical to one without.
+	inst *instruments
+}
+
+// instruments is the simulator's view of the shared registry. The
+// counters are separate from the plain sessions/flows/metrics fields
+// because a live /metrics scrape reads them from another goroutine
+// mid-run — they must be atomic where the plain fields need not be.
+type instruments struct {
+	sessions     *obs.Counter
+	flows        *obs.Counter
+	truncated    *obs.Counter
+	chains       *obs.Counter
+	redirects    *obs.Counter
+	raceWins     *obs.Counter
+	chainDepth   *obs.Histogram // redirect hops per chain
+	chainLatency *obs.Histogram // chain start → video request, sim µs
 }
 
 // streamKey identifies one subnet's player stream.
@@ -229,6 +252,24 @@ func NewSimulator(w *topology.World, cat *content.Catalog, sel *core.Selector,
 	return s, nil
 }
 
+// Instrument publishes the simulator's progress into reg under the
+// "sim.cdn.*" names. Lookups get-or-create, so the shard simulators of
+// one run instrumented into the same registry share instruments and
+// the published values are run-wide totals. Call before the run
+// starts; passing the same registry to every shard is the point.
+func (s *Simulator) Instrument(reg *obs.Registry) {
+	s.inst = &instruments{
+		sessions:     reg.Counter("sim.cdn.sessions"),
+		flows:        reg.Counter("sim.cdn.flows"),
+		truncated:    reg.Counter("sim.cdn.truncated_flows"),
+		chains:       reg.Counter("sim.cdn.chains"),
+		redirects:    reg.Counter("sim.cdn.redirects"),
+		raceWins:     reg.Counter("sim.cdn.race_wins"),
+		chainDepth:   reg.Histogram("sim.cdn.chain_depth_hops"),
+		chainLatency: reg.Histogram("sim.cdn.chain_latency_us"),
+	}
+}
+
 // Sessions returns the number of sessions executed so far.
 func (s *Simulator) Sessions() int { return s.sessions }
 
@@ -261,6 +302,9 @@ func (s *Simulator) rng(req Request) *stats.RNG {
 // time. It must be called from within an engine event.
 func (s *Simulator) SubmitSession(req Request) {
 	s.sessions++
+	if s.inst != nil {
+		s.inst.sessions.Inc()
+	}
 	vp := s.w.VantagePoints[req.VP]
 	g := s.rng(req)
 
@@ -311,6 +355,9 @@ func (s *Simulator) runChain(req Request, g *stats.RNG, start time.Duration, wat
 		srv = s.raceWinner(req.VP, g, cands)
 		s.sel.CommitRace(ldns, srv)
 		s.metrics.RaceWins++
+		if s.inst != nil {
+			s.inst.raceWins.Inc()
+		}
 	} else {
 		srv = s.sel.ResolveDNS(ldns, req.Video, g)
 	}
@@ -352,6 +399,13 @@ func (s *Simulator) runChain(req Request, g *stats.RNG, start time.Duration, wat
 		s.metrics.ServedPreferred++
 	}
 	s.metrics.SumServedRTT += s.w.Net.BaseRTT(s.vpEndpoints[req.VP], s.serverEndpoint(srv))
+
+	if s.inst != nil {
+		s.inst.chains.Inc()
+		s.inst.redirects.Add(int64(hops))
+		s.inst.chainDepth.Observe(int64(hops))
+		s.inst.chainLatency.Observe(int64((t - start) / time.Microsecond))
+	}
 
 	s.emitVideo(vp, req, g, srv, t, watchScale)
 }
@@ -466,8 +520,14 @@ func (s *Simulator) record(dataset string, rec capture.FlowRecord) {
 	// still runs — the network does not stop with the capture).
 	if s.span > 0 && rec.Start >= s.span {
 		s.truncated++
+		if s.inst != nil {
+			s.inst.truncated.Inc()
+		}
 		return
 	}
 	s.flows++
+	if s.inst != nil {
+		s.inst.flows.Inc()
+	}
 	s.sink.Record(dataset, rec)
 }

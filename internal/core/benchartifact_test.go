@@ -1,13 +1,13 @@
 package core
 
 import (
-	"encoding/json"
-	"fmt"
 	"os"
+	"strconv"
 	"testing"
 	"time"
 
 	"github.com/ytcdn-sim/ytcdn/internal/content"
+	"github.com/ytcdn-sim/ytcdn/internal/obs/report"
 	"github.com/ytcdn-sim/ytcdn/internal/stats"
 	"github.com/ytcdn-sim/ytcdn/internal/topology"
 )
@@ -30,7 +30,9 @@ func TestBenchArtifact(t *testing.T) {
 		&LeastLoadedDC{},
 		&ClientRace{},
 	}
-	perPolicy := make(map[string]any, len(policies))
+	rep := report.New("selector-bench").
+		Set("workload", "round-robin LDNS x 1000-video mix, unloaded trackers").
+		Set("decisions_per_policy", strconv.Itoa(decisions))
 	for _, p := range policies {
 		cfg := DefaultConfig()
 		cfg.Policy = p
@@ -59,25 +61,16 @@ func TestBenchArtifact(t *testing.T) {
 		}
 		secs := time.Since(start).Seconds()
 		spills, hotspots, misses := r.sel.Counters()
-		perPolicy[p.Name()] = map[string]any{
-			"decisions":         n,
-			"decisions_per_sec": float64(n) / secs,
-			"spills":            spills,
-			"hotspots":          hotspots,
-			"misses":            misses,
-		}
+		prefix := "selector." + p.Name() + "."
+		rep.Add(prefix+"decisions", float64(n), "count").
+			Add(prefix+"decisions_per_sec", float64(n)/secs, "events/sec").
+			Add(prefix+"spills", float64(spills), "count").
+			Add(prefix+"hotspots", float64(hotspots), "count").
+			Add(prefix+"misses", float64(misses), "count")
 	}
 
-	artifact := map[string]any{
-		"workload": "round-robin LDNS x 1000-video mix, unloaded trackers",
-		"policies": perPolicy,
-	}
-	data, err := json.MarshalIndent(artifact, "", "  ")
-	if err != nil {
+	if err := rep.WriteFile(out); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	fmt.Printf("wrote %s: %s\n", out, data)
+	t.Logf("wrote %s", out)
 }

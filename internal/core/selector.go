@@ -7,6 +7,7 @@ import (
 
 	"github.com/ytcdn-sim/ytcdn/internal/content"
 	"github.com/ytcdn-sim/ytcdn/internal/geo"
+	"github.com/ytcdn-sim/ytcdn/internal/obs"
 	"github.com/ytcdn-sim/ytcdn/internal/stats"
 	"github.com/ytcdn-sim/ytcdn/internal/topology"
 )
@@ -358,6 +359,26 @@ func (s *Selector) ServerLoad(srv topology.ServerID) int { return s.srvSess.Load
 // ablation studies and the policy-comparison harness.
 func (s *Selector) Counters() (spills, hotspots, misses int) {
 	return int(s.spills.Load()), int(s.hotspots.Load()), int(s.misses.Load())
+}
+
+// Instrument publishes the selector's live state into reg as derived
+// gauges: the mechanism counters ("sim.selector.spills" / ".hotspots"
+// / ".misses"), total concurrent flows and sessions, and one
+// "sim.selector.dc_load.dc-<id>-<city>" gauge per Google DC. Derived
+// gauges only read atomics the selector maintains anyway, so a scrape
+// mid-run neither blocks nor perturbs decisions.
+func (s *Selector) Instrument(reg *obs.Registry) {
+	reg.GaugeFunc("sim.selector.spills", func() float64 { return float64(s.spills.Load()) })
+	reg.GaugeFunc("sim.selector.hotspots", func() float64 { return float64(s.hotspots.Load()) })
+	reg.GaugeFunc("sim.selector.misses", func() float64 { return float64(s.misses.Load()) })
+	reg.GaugeFunc("sim.selector.flows_active", func() float64 { return float64(s.dcFlows.Total()) })
+	reg.GaugeFunc("sim.selector.sessions_active", func() float64 { return float64(s.srvSess.Total()) })
+	for _, id := range s.w.GoogleDCs() {
+		id := id
+		dc := s.w.DC(id)
+		name := fmt.Sprintf("sim.selector.dc_load.dc-%d-%s", dc.ID, dc.City.Name)
+		reg.GaugeFunc(name, func() float64 { return float64(s.dcFlows.Load(int(id))) })
+	}
 }
 
 // ServerForVideo exposes the within-DC consistent hash (used by the

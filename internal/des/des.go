@@ -6,6 +6,7 @@ package des
 
 import (
 	"container/heap"
+	"sync/atomic"
 	"time"
 )
 
@@ -13,10 +14,19 @@ import (
 // ready to use. An Engine is not safe for concurrent use: each engine
 // is driven by exactly one goroutine so that runs are reproducible.
 // Concurrency across engines is the ShardedRunner's job.
+//
+// The atomic fields shadow the single-goroutine state for the
+// observability scrape goroutine (LiveStats): a /metrics request must
+// be able to read progress while the engine runs without taking part
+// in its synchronization.
 type Engine struct {
 	queue eventHeap
 	now   time.Duration
 	seq   uint64
+
+	executed  atomic.Int64 // events run, shadows the Step count
+	liveDepth atomic.Int64 // shadows len(queue)
+	liveNow   atomic.Int64 // shadows now, in nanoseconds
 }
 
 type event struct {
@@ -73,6 +83,7 @@ func (e *Engine) Schedule(at time.Duration, run func()) {
 	}
 	heap.Push(&e.queue, event{at: at, seq: e.seq, run: run})
 	e.seq++
+	e.liveDepth.Store(int64(len(e.queue)))
 }
 
 // ScheduleAfter enqueues run delay after the current time.
@@ -88,8 +99,26 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.queue).(event)
 	e.now = ev.at
+	e.liveDepth.Store(int64(len(e.queue)))
+	e.liveNow.Store(int64(ev.at))
 	ev.run()
+	e.executed.Add(1)
 	return true
+}
+
+// Executed returns how many events have run. Unlike the other
+// accessors it is safe to call from any goroutine while the engine
+// runs — the sharded runner's stall accounting and the live metrics
+// endpoint both rely on that.
+func (e *Engine) Executed() int64 { return e.executed.Load() }
+
+// LiveStats returns a racy-but-consistent view of engine progress —
+// events executed, current queue depth, and the simulated clock — safe
+// to call from the metrics scrape goroutine while the engine's own
+// goroutine is mid-run. Each value is an atomic shadow updated as
+// events are scheduled and run; they may lag the engine by an event.
+func (e *Engine) LiveStats() (executed, queueDepth int64, now time.Duration) {
+	return e.executed.Load(), e.liveDepth.Load(), time.Duration(e.liveNow.Load())
 }
 
 // Run executes events until the queue drains.
@@ -107,6 +136,7 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 	}
 	if e.now < deadline {
 		e.now = deadline
+		e.liveNow.Store(int64(deadline))
 	}
 }
 
@@ -121,5 +151,6 @@ func (e *Engine) RunBefore(deadline time.Duration) {
 	}
 	if e.now < deadline {
 		e.now = deadline
+		e.liveNow.Store(int64(deadline))
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/obs"
 )
 
 // ShardedRunner advances several independent engines ("shards") over
@@ -39,6 +41,13 @@ type ShardedRunner struct {
 	shards   []*Engine
 	window   time.Duration
 	barriers []barrier
+
+	// Optional instruments (see Instrument). All three count pure
+	// event-structure facts — windows advanced, barriers fired, shards
+	// idle across a window — so recording them never perturbs the run.
+	windows      *obs.Counter
+	barrierFires *obs.Counter
+	stalls       *obs.Counter
 }
 
 type barrier struct {
@@ -58,6 +67,44 @@ func NewShardedRunner(window time.Duration, shards ...*Engine) (*ShardedRunner, 
 		return nil, fmt.Errorf("des: sync window %v must be >= 0", window)
 	}
 	return &ShardedRunner{shards: shards, window: window}, nil
+}
+
+// Instrument publishes the runner's progress into reg:
+// "sim.runner.windows" (lockstep windows completed),
+// "sim.runner.barriers" (global barrier actions fired), and
+// "sim.runner.window_stalls" (shard-windows in which a shard executed
+// no events — shards parked at the barrier waiting for stragglers).
+// It also registers per-shard live gauges "sim.shard.<i>.queue_depth",
+// "sim.shard.<i>.events" and "sim.shard.<i>.now_seconds", plus the
+// aggregate "sim.des.events". Instrument must be called before Run.
+func (r *ShardedRunner) Instrument(reg *obs.Registry) {
+	r.windows = reg.Counter("sim.runner.windows")
+	r.barrierFires = reg.Counter("sim.runner.barriers")
+	r.stalls = reg.Counter("sim.runner.window_stalls")
+	for i, e := range r.shards {
+		e := e
+		prefix := fmt.Sprintf("sim.shard.%d.", i)
+		reg.GaugeFunc(prefix+"events", func() float64 {
+			executed, _, _ := e.LiveStats()
+			return float64(executed)
+		})
+		reg.GaugeFunc(prefix+"queue_depth", func() float64 {
+			_, depth, _ := e.LiveStats()
+			return float64(depth)
+		})
+		reg.GaugeFunc(prefix+"now_seconds", func() float64 {
+			_, _, now := e.LiveStats()
+			return now.Seconds()
+		})
+	}
+	shards := r.shards
+	reg.GaugeFunc("sim.des.events", func() float64 {
+		var total int64
+		for _, e := range shards {
+			total += e.Executed()
+		}
+		return float64(total)
+	})
 }
 
 // AddBarrier registers a global action at the given simulated time.
@@ -140,6 +187,9 @@ func (r *ShardedRunner) fireBarrier(b barrier) {
 		e.RunBefore(b.at)
 	}
 	b.run()
+	if r.barrierFires != nil {
+		r.barrierFires.Inc()
+	}
 }
 
 // runWindowed is the concurrent mode: shards advance in lockstep
@@ -166,6 +216,10 @@ func (r *ShardedRunner) runWindowed() {
 		if bi < len(r.barriers) && r.barriers[bi].at < next {
 			next = r.barriers[bi].at
 		}
+		before := make([]int64, len(r.shards))
+		for i, e := range r.shards {
+			before[i] = e.Executed()
+		}
 		var wg sync.WaitGroup
 		for _, e := range r.shards {
 			e := e
@@ -176,6 +230,14 @@ func (r *ShardedRunner) runWindowed() {
 			}()
 		}
 		wg.Wait()
+		if r.windows != nil {
+			r.windows.Inc()
+			for i, e := range r.shards {
+				if e.Executed() == before[i] {
+					r.stalls.Inc()
+				}
+			}
+		}
 	}
 	for ; bi < len(r.barriers); bi++ {
 		r.fireBarrier(r.barriers[bi])

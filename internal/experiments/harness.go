@@ -56,6 +56,20 @@ type Input struct {
 	// 1 runs strictly sequentially; values < 1 mean "one worker per
 	// core". The computed results are identical either way.
 	Parallelism int
+	// Profiler, when non-nil, receives the harness's pipeline phases
+	// (localization, probing, per-dataset analysis) for wall-clock
+	// timing. The interface is defined here, narrow, so this package
+	// never imports the wall-clock obs subpackages — the profiler's
+	// clock stays lexically outside the deterministic scope the
+	// rngpurity/obsplane lint rules police. Profiling has no effect on
+	// computed results.
+	Profiler Profiler
+}
+
+// Profiler times named pipeline phases. obs/profile.Profiler satisfies
+// it; the stop function returned by Phase ends the measurement.
+type Profiler interface {
+	Phase(name string) func()
 }
 
 // Harness runs experiments over one study. Safe for concurrent use.
@@ -146,6 +160,15 @@ func New(in Input) *Harness {
 
 // Input returns the harness input.
 func (h *Harness) Input() Input { return h.in }
+
+// phase starts timing a pipeline phase on the input profiler; the
+// returned stop function is a no-op when profiling is off.
+func (h *Harness) phase(name string) func() {
+	if h.in.Profiler == nil {
+		return func() {}
+	}
+	return h.in.Profiler.Phase(name)
+}
 
 // Parallelism returns the effective worker-pool bound.
 func (h *Harness) Parallelism() int { return h.par }
@@ -262,6 +285,7 @@ func (h *Harness) campaignCell(vpName string) *cell[map[ipnet.Addr]float64] {
 // bit-identical at any pool size.
 func (h *Harness) campaign(vpName string) (map[ipnet.Addr]float64, error) {
 	return h.campaignCell(vpName).do(func() (map[ipnet.Addr]float64, error) {
+		defer h.phase("probing")()
 		targets, err := h.datasetServers(vpName)
 		if err != nil {
 			return nil, err
@@ -320,6 +344,7 @@ func (h *Harness) Geolocate() (map[ipnet.Addr]geoloc.Region, error) {
 // it must be treated as read-only.
 func (h *Harness) geolocate() (map[ipnet.Addr]geoloc.Region, error) {
 	h.geoOnce.Do(func() {
+		defer h.phase("localization")()
 		lms := h.prober.LandmarkInfos()
 		cross := h.prober.CrossRTTMatrixParallel(5, h.par)
 		cbg, err := geoloc.Calibrate(lms, func(i, j int) time.Duration { return cross[i][j] })
@@ -402,6 +427,7 @@ func (h *Harness) Dataset(name string) (*dataset, error) {
 // buildDataset computes one dataset's artifacts in a handful of
 // streaming passes; nothing trace-sized is retained.
 func (h *Harness) buildDataset(name string) (*dataset, error) {
+	defer h.phase("analysis")()
 	idx := h.in.World.VPIndex(name)
 	if idx < 0 {
 		return nil, fmt.Errorf("experiments: unknown dataset %q", name)

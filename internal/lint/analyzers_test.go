@@ -60,6 +60,26 @@ func TestLockGuardSuppressed(t *testing.T) {
 	linttest.Run(t, "testdata/lockguard", lint.LockGuard, "./suppressed")
 }
 
+func TestObsPlaneFlaggedImport(t *testing.T) {
+	linttest.Run(t, "testdata/obsplane", lint.ObsPlane, "./internal/cdn")
+}
+
+func TestObsPlaneFlaggedWallClock(t *testing.T) {
+	linttest.Run(t, "testdata/obsplane", lint.ObsPlane, "./internal/obs")
+}
+
+func TestObsPlaneClean(t *testing.T) {
+	linttest.Run(t, "testdata/obsplane", lint.ObsPlane, "./internal/core")
+}
+
+func TestObsPlaneWallPlaneOutOfScope(t *testing.T) {
+	linttest.Run(t, "testdata/obsplane", lint.ObsPlane, "./internal/obs/profile")
+}
+
+func TestObsPlaneSuppressed(t *testing.T) {
+	linttest.Run(t, "testdata/obsplane", lint.ObsPlane, "./internal/des")
+}
+
 // TestSuppressionNeedsReason pins the directive contract: a //lint:ok
 // with no reason is itself reported and does not suppress the finding
 // it sits on.

@@ -1,9 +1,10 @@
 // Package lint is the repo's static layer: a small, dependency-free
 // analysis framework (in the spirit of golang.org/x/tools/go/analysis,
-// which this module deliberately does not depend on) plus the four
+// which this module deliberately does not depend on) plus the five
 // analyzers that encode the invariants every parity suite in this
 // repository leans on — map-iteration determinism, RNG purity, RNG
-// stream ownership, and mutex guard discipline.
+// stream ownership, mutex guard discipline, and the observability
+// plane split.
 //
 // The framework runs one package at a time over parsed, type-checked
 // source. It is driven two ways: by cmd/ytcdn-lint speaking the
@@ -71,7 +72,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// InTestFile reports whether pos sits in a _test.go file. All four
+// InTestFile reports whether pos sits in a _test.go file. All
 // analyzers skip test files: the dynamic suites already execute tests
 // under the race detector and with fixed seeds, and test-local
 // shortcuts (wall-clock timing in benchmarks, ad-hoc RNGs) are part of
@@ -82,7 +83,7 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 
 // Analyzers returns the full suite in deterministic order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetMap, RNGPurity, RNGShare, LockGuard}
+	return []*Analyzer{DetMap, RNGPurity, RNGShare, LockGuard, ObsPlane}
 }
 
 // suppressionRe matches a //lint:ok directive. Group 1 is the analyzer

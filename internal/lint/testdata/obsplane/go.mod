@@ -1,0 +1,3 @@
+module example.com/obsplanefix
+
+go 1.21

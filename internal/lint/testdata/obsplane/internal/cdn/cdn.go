@@ -1,0 +1,15 @@
+// Package cdn is a deterministic core stand-in that reaches the
+// wall-clock plane through an import — the route obsplane closes.
+package cdn
+
+import (
+	"example.com/obsplanefix/internal/obs/obshttp" // want "import of example.com/obsplanefix/internal/obs/obshttp in a deterministic core package"
+	"example.com/obsplanefix/internal/obs/profile" // want "import of example.com/obsplanefix/internal/obs/profile in a deterministic core package"
+)
+
+// Simulate would acquire a clock via the profiler.
+func Simulate() {
+	done := profile.Phase()
+	defer done()
+	_ = obshttp.Serve(":0")
+}

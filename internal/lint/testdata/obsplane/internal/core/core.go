@@ -1,0 +1,10 @@
+// Package core is a deterministic core stand-in using the sim-time
+// instruments the legal way: the obs root package only.
+package core
+
+import "example.com/obsplanefix/internal/obs"
+
+// Decide records into a deterministic-plane counter.
+func Decide(c *obs.Counter) {
+	c.Inc()
+}

@@ -1,0 +1,14 @@
+// Package des is a deterministic core stand-in exercising the
+// suppression escape hatch.
+package des
+
+import (
+	//lint:ok obsplane fixture demonstrating a reasoned suppression
+	"example.com/obsplanefix/internal/obs/profile"
+)
+
+// Step uses the suppressed wall-clock import.
+func Step() {
+	done := profile.Phase()
+	done()
+}

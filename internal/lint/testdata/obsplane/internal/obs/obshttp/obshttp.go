@@ -1,0 +1,5 @@
+// Package obshttp is a stand-in for the live metrics endpoint.
+package obshttp
+
+// Serve pretends to serve metrics.
+func Serve(addr string) error { return nil }

@@ -1,0 +1,25 @@
+package report
+
+import (
+	"os"
+	"testing"
+)
+
+// TestValidateReportArtifact validates an emitted report file (the
+// -report artifact of ytcdn-sim/ytcdn-experiments, or a BENCH_*.json)
+// named by OBS_VALIDATE_REPORT — CI's artifact-validation step.
+// Skipped unless the env var is set.
+func TestValidateReportArtifact(t *testing.T) {
+	path := os.Getenv("OBS_VALIDATE_REPORT")
+	if path == "" {
+		t.Skip("set OBS_VALIDATE_REPORT to a report JSON file to validate it")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateJSON(data); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	t.Logf("%s: valid %s report (%d bytes)", path, Schema, len(data))
+}

@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"os"
+	"testing"
+)
+
+// TestValidateMetricsArtifact is the CI half of the /metrics smoke: the
+// workflow scrapes a live endpoint into a file and points
+// OBS_VALIDATE_METRICS at it; this test applies the same validator the
+// golden scrape test uses. Skipped unless the env var is set.
+func TestValidateMetricsArtifact(t *testing.T) {
+	path := os.Getenv("OBS_VALIDATE_METRICS")
+	if path == "" {
+		t.Skip("set OBS_VALIDATE_METRICS to a scraped /metrics file to validate it")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSnapshotJSON(data); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	t.Logf("%s: valid %s snapshot (%d bytes)", path, SnapshotSchema, len(data))
+}

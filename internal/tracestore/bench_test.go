@@ -1,12 +1,13 @@
 package tracestore
 
 import (
-	"encoding/json"
-	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/obs/report"
 )
 
 // benchStore writes n synthetic records into a fresh store and returns
@@ -163,23 +164,18 @@ func TestBenchArtifact(t *testing.T) {
 	}
 	scanSecs := time.Since(sStart).Seconds()
 
-	artifact := map[string]any{
-		"records":             n,
-		"segment_records":     segRecords,
-		"disk_bytes":          disk,
-		"bytes_per_record":    float64(disk) / float64(n),
-		"write_mb_per_s":      float64(disk) / 1e6 / writeSecs,
-		"scan_mb_per_s":       float64(disk) / 1e6 / scanSecs,
-		"write_records_per_s": float64(n) / writeSecs,
-		"scan_records_per_s":  float64(n) / scanSecs,
-		"peak_buffered_bytes": r.PeakBufferedBytes(),
-	}
-	data, err := json.MarshalIndent(artifact, "", "  ")
-	if err != nil {
+	rep := report.New("tracestore-bench").
+		Set("records", strconv.Itoa(n)).
+		Set("segment_records", strconv.Itoa(segRecords)).
+		Add("store.disk.bytes", float64(disk), "bytes").
+		Add("store.disk.bytes_per_record", float64(disk)/float64(n), "bytes").
+		Add("store.write.bytes_per_sec", float64(disk)/writeSecs, "bytes/sec").
+		Add("store.write.records_per_sec", float64(n)/writeSecs, "events/sec").
+		Add("store.scan.bytes_per_sec", float64(disk)/scanSecs, "bytes/sec").
+		Add("store.scan.records_per_sec", float64(n)/scanSecs, "events/sec").
+		Add("store.scan.peak_buffered_bytes", float64(r.PeakBufferedBytes()), "bytes")
+	if err := rep.WriteFile(out); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	fmt.Printf("wrote %s: %s\n", out, data)
+	t.Logf("wrote %s", out)
 }

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"github.com/ytcdn-sim/ytcdn/internal/capture"
+	"github.com/ytcdn-sim/ytcdn/internal/obs"
 )
 
 // Reader opens a store directory for analysis. It indexes every shard
@@ -33,6 +34,10 @@ type Reader struct {
 	// than ~one segment per shard.
 	buffered atomic.Int64
 	peak     atomic.Int64
+	// bytesRead / segsDecoded account scan I/O for the metrics layer
+	// (see Instrument).
+	bytesRead   atomic.Int64
+	segsDecoded atomic.Int64
 }
 
 // rshard is one dataset's read-side index.
@@ -241,7 +246,23 @@ func (r *Reader) loadSegment(f *os.File, sh *rshard, i int) ([]capture.FlowRecor
 	}
 	fp := decodedFootprint(recs)
 	r.acquire(fp)
+	r.bytesRead.Add(int64(m.payloadLen))
+	r.segsDecoded.Add(1)
 	return recs, fp, nil
+}
+
+// BytesScanned returns the payload bytes read and decoded so far. Safe
+// from any goroutine.
+func (r *Reader) BytesScanned() int64 { return r.bytesRead.Load() }
+
+// Instrument publishes the reader's live scan accounting into reg:
+// "store.scan.bytes", "store.scan.segments",
+// "store.scan.buffered_bytes" and "store.scan.peak_buffered_bytes".
+func (r *Reader) Instrument(reg *obs.Registry) {
+	reg.GaugeFunc("store.scan.bytes", func() float64 { return float64(r.bytesRead.Load()) })
+	reg.GaugeFunc("store.scan.segments", func() float64 { return float64(r.segsDecoded.Load()) })
+	reg.GaugeFunc("store.scan.buffered_bytes", func() float64 { return float64(r.buffered.Load()) })
+	reg.GaugeFunc("store.scan.peak_buffered_bytes", func() float64 { return float64(r.peak.Load()) })
 }
 
 // Iter implements capture.TraceSource: a streaming iterator over one

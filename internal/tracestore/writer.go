@@ -7,8 +7,10 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/ytcdn-sim/ytcdn/internal/capture"
+	"github.com/ytcdn-sim/ytcdn/internal/obs"
 )
 
 // Writer is a capture.Sink that spills flow records to a disk store.
@@ -23,6 +25,12 @@ type Writer struct {
 	mu     sync.RWMutex // guards the shards map, not the shards
 	shards map[string]*wshard
 	closed bool
+
+	// Cross-shard I/O accounting, readable mid-run by the metrics
+	// scrape goroutine (see Instrument).
+	bytesWritten atomic.Int64
+	segments     atomic.Int64
+	recordsLive  atomic.Int64
 }
 
 // wshard is one dataset's write state.
@@ -32,6 +40,7 @@ type wshard struct {
 	buf     []capture.FlowRecord
 	records int64
 	err     error
+	w       *Writer // owner, for cross-shard accounting
 }
 
 // NewWriter creates (or truncates into) a store directory and returns
@@ -97,7 +106,8 @@ func (w *Writer) shard(dataset string) (*wshard, error) {
 		f.Close()
 		return nil, fmt.Errorf("tracestore: shard header: %w", err)
 	}
-	s = &wshard{f: f, buf: make([]capture.FlowRecord, 0, w.segRecords)}
+	s = &wshard{f: f, buf: make([]capture.FlowRecord, 0, w.segRecords), w: w}
+	w.bytesWritten.Add(int64(len(hdr)))
 	w.shards[dataset] = s
 	return s, nil
 }
@@ -123,6 +133,7 @@ func (w *Writer) Record(dataset string, rec capture.FlowRecord) {
 	}
 	s.buf = append(s.buf, rec)
 	s.records++
+	w.recordsLive.Add(1)
 	if len(s.buf) >= w.segRecords {
 		s.spillLocked()
 	}
@@ -143,7 +154,30 @@ func (s *wshard) spillLocked() {
 		s.err = fmt.Errorf("tracestore: segment payload: %w", err)
 		return
 	}
+	if s.w != nil {
+		s.w.bytesWritten.Add(int64(len(header) + len(payload)))
+		s.w.segments.Add(1)
+	}
 	s.buf = s.buf[:0]
+}
+
+// BytesWritten returns the shard-file bytes written so far (headers
+// and spilled segments; buffered records are not yet counted). Safe
+// from any goroutine.
+func (w *Writer) BytesWritten() int64 { return w.bytesWritten.Load() }
+
+// SegmentsWritten returns how many segments have been spilled. Safe
+// from any goroutine.
+func (w *Writer) SegmentsWritten() int64 { return w.segments.Load() }
+
+// Instrument publishes the writer's live I/O accounting into reg:
+// "store.write.records", "store.write.bytes" and
+// "store.write.segments". The gauges read atomics the writer keeps
+// anyway, so scraping mid-run contends with nothing.
+func (w *Writer) Instrument(reg *obs.Registry) {
+	reg.GaugeFunc("store.write.records", func() float64 { return float64(w.recordsLive.Load()) })
+	reg.GaugeFunc("store.write.bytes", func() float64 { return float64(w.bytesWritten.Load()) })
+	reg.GaugeFunc("store.write.segments", func() float64 { return float64(w.segments.Load()) })
 }
 
 // Flush spills every shard's buffered records as (possibly short)

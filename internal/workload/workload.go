@@ -23,6 +23,7 @@ import (
 	"github.com/ytcdn-sim/ytcdn/internal/content"
 	"github.com/ytcdn-sim/ytcdn/internal/des"
 	"github.com/ytcdn-sim/ytcdn/internal/ipnet"
+	"github.com/ytcdn-sim/ytcdn/internal/obs"
 	"github.com/ytcdn-sim/ytcdn/internal/stats"
 	"github.com/ytcdn-sim/ytcdn/internal/topology"
 )
@@ -59,6 +60,23 @@ type Generator struct {
 	cat     *content.Catalog
 	span    time.Duration
 	buckets []bucket
+
+	// Optional instruments (see Instrument); nil when metrics are off.
+	// The counted quantities (arrival draws, hour batches) fall out of
+	// draws the generator makes regardless, so recording them is
+	// zero-perturbation.
+	arrivals *obs.Counter
+	batches  *obs.Counter
+}
+
+// Instrument publishes the generator's progress into reg:
+// "sim.workload.arrivals" (sessions scheduled) and
+// "sim.workload.hour_batches" (per-subnet hour batches emitted).
+// Generators instrumented into the same registry share the counters,
+// so the values are run-wide totals. Call before Schedule.
+func (gen *Generator) Instrument(reg *obs.Registry) {
+	gen.arrivals = reg.Counter("sim.workload.arrivals")
+	gen.batches = reg.Counter("sim.workload.hour_batches")
 }
 
 // NewGenerator builds a generator covering every subnet of vantage
@@ -196,6 +214,10 @@ func (gen *Generator) emitHour(eng *des.Engine, b *bucket, start time.Duration, 
 	}
 	mean := gen.ratePerHour(start+width/2) * b.share * width.Hours()
 	n := b.g.Poisson(mean)
+	if gen.arrivals != nil {
+		gen.arrivals.Add(int64(n))
+		gen.batches.Inc()
+	}
 	for i := 0; i < n; i++ {
 		at := start + time.Duration(b.g.Float64()*float64(width))
 		eng.Schedule(at, func() {

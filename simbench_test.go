@@ -1,13 +1,14 @@
 package ytcdn
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
+	"github.com/ytcdn-sim/ytcdn/internal/obs/report"
 	"github.com/ytcdn-sim/ytcdn/internal/topology"
 )
 
@@ -99,40 +100,26 @@ func TestBenchArtifactSim(t *testing.T) {
 		t.Errorf("sub-VP sharding = %.2fx over per-VP on the heavy-VP workload, want >= 1.2x", subSpeedup)
 	}
 
-	artifact := map[string]any{
-		"workload": fmt.Sprintf("scale %.2f, %v span, seed default", base.Scale, base.Span),
-		"cores":    runtime.NumCPU(),
-		"sequential": map[string]any{
-			"sessions": seqSessions, "flows": seqFlows,
-			"seconds": seqSecs, "sessions_per_sec": float64(seqSessions) / seqSecs,
-		},
-		"sharded": map[string]any{
-			"sim_shards": sharded.SimShards, "sync_window": sharded.SyncWindow.String(),
-			"sessions": shSessions, "flows": shFlows,
-			"seconds": shSecs, "sessions_per_sec": float64(shSessions) / shSecs,
-		},
-		"speedup": seqSecs / shSecs,
-		"heavy_vp": map[string]any{
-			"workload": "US-Campus x3 sessions, others /10 (single heavy vantage point)",
-			"vp_sharded": map[string]any{
-				"shard_by": "vp", "sim_shards": 5, "sync_window": "1m",
-				"sessions": vpSessions, "flows": vpFlows,
-				"seconds": vpSecs, "sessions_per_sec": float64(vpSessions) / vpSecs,
-			},
-			"subvp_sharded": map[string]any{
-				"shard_by": "subnet", "sim_shards": 5, "sync_window": "1m",
-				"sessions": subSessions, "flows": subFlows,
-				"seconds": subSecs, "sessions_per_sec": float64(subSessions) / subSecs,
-			},
-			"subvp_over_vp_speedup": subSpeedup,
-		},
+	rep := report.New("sim-bench").
+		Set("workload", fmt.Sprintf("scale %.2f, %v span, seed default", base.Scale, base.Span)).
+		Set("heavy_vp_workload", "US-Campus x3 sessions, others /10 (single heavy vantage point)").
+		Set("cores", strconv.Itoa(runtime.NumCPU())).
+		Set("sim_shards", strconv.Itoa(sharded.SimShards)).
+		Set("sync_window", sharded.SyncWindow.String())
+	series := func(prefix string, sessions, flows int, secs float64) {
+		rep.Add(prefix+".sessions", float64(sessions), "count").
+			Add(prefix+".flows", float64(flows), "count").
+			Add(prefix+".seconds", secs, "seconds").
+			Add(prefix+".sessions_per_sec", float64(sessions)/secs, "events/sec")
 	}
-	data, err := json.MarshalIndent(artifact, "", "  ")
-	if err != nil {
+	series("sim.sequential", seqSessions, seqFlows, seqSecs)
+	series("sim.sharded", shSessions, shFlows, shSecs)
+	rep.Add("sim.sharded_speedup", speedup, "ratio")
+	series("sim.heavy_vp.vp_sharded", vpSessions, vpFlows, vpSecs)
+	series("sim.heavy_vp.subvp_sharded", subSessions, subFlows, subSecs)
+	rep.Add("sim.heavy_vp.subvp_over_vp_speedup", subSpeedup, "ratio")
+	if err := rep.WriteFile(out); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	fmt.Printf("wrote %s: %s\n", out, data)
+	t.Logf("wrote %s", out)
 }

@@ -32,6 +32,7 @@ import (
 	"github.com/ytcdn-sim/ytcdn/internal/core"
 	"github.com/ytcdn-sim/ytcdn/internal/des"
 	"github.com/ytcdn-sim/ytcdn/internal/experiments"
+	"github.com/ytcdn-sim/ytcdn/internal/obs"
 	"github.com/ytcdn-sim/ytcdn/internal/par"
 	"github.com/ytcdn-sim/ytcdn/internal/stats"
 	"github.com/ytcdn-sim/ytcdn/internal/topology"
@@ -119,6 +120,20 @@ type Options struct {
 	// bit-identical results at SyncWindow == 0; at a positive window,
 	// ShardBySubnet simply balances better. Ignored unless SimShards > 1.
 	ShardBy ShardBy
+	// Metrics, when non-nil, instruments the run: the deterministic
+	// core publishes sim-time counters, gauges and histograms
+	// ("sim.*" / "store.*" names) into the registry as it executes,
+	// and a live scrape (obshttp) may read them from another goroutine
+	// mid-run. Every instrument is keyed on simulated time and event
+	// counts only — recording draws no randomness, reads no wall clock
+	// and schedules nothing — so a run with Metrics set is
+	// bit-identical to one without (the parity tests pin this).
+	Metrics *obs.Registry
+	// Profiler, when non-nil, wall-clock-times the analysis harness's
+	// pipeline phases (localization, probing, per-dataset analysis);
+	// see experiments.Profiler. obs/profile.NewProfiler builds one.
+	// Profiling never changes computed results.
+	Profiler experiments.Profiler
 	// SyncWindow bounds how far one simulation shard may run ahead of
 	// another (see des.ShardedRunner). 0 — the default — is the exact
 	// mode: shards advance through a sequential k-way merge that is
@@ -191,8 +206,15 @@ type Study struct {
 	// of vantage points).
 	SimShards int
 
-	mem   *capture.MemSink   // in-memory capture (nil when store-backed)
-	store *tracestore.Reader // disk-backed capture (nil when in-memory)
+	// Metrics is the registry the run was instrumented into (nil when
+	// Options.Metrics was nil). The post-run analysis keeps recording
+	// into it (store scans), so a -report emitted after the tables
+	// includes the full pipeline.
+	Metrics *obs.Registry
+
+	mem      *capture.MemSink   // in-memory capture (nil when store-backed)
+	store    *tracestore.Reader // disk-backed capture (nil when in-memory)
+	profiler experiments.Profiler
 
 	expOnce sync.Once
 	exp     *experiments.Harness
@@ -270,6 +292,9 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ytcdn: %w", err)
 	}
+	if opts.Metrics != nil {
+		sel.Instrument(opts.Metrics)
+	}
 
 	playerCfg := cdn.DefaultConfig()
 	if opts.Player != nil {
@@ -329,6 +354,9 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 		})
 		if err != nil {
 			return nil, fmt.Errorf("ytcdn: %w", err)
+		}
+		if opts.Metrics != nil {
+			writer.Instrument(opts.Metrics)
 		}
 		sink = writer
 	} else {
@@ -394,6 +422,10 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 			if err != nil {
 				return nil, fmt.Errorf("ytcdn: %w", err)
 			}
+			if opts.Metrics != nil {
+				sim.Instrument(opts.Metrics)
+				gen.Instrument(opts.Metrics)
+			}
 			gen.Schedule(eng, sim.SubmitSession)
 		}
 	}
@@ -401,6 +433,9 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 	runner, err := des.NewShardedRunner(syncWindow, engines...)
 	if err != nil {
 		return nil, fmt.Errorf("ytcdn: %w", err)
+	}
+	if opts.Metrics != nil {
+		runner.Instrument(opts.Metrics)
 	}
 	if sw := opts.PolicySwitch; sw != nil {
 		// Validated above (before the store writer), so the switch
@@ -428,6 +463,9 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ytcdn: %w", err)
 		}
+		if opts.Metrics != nil {
+			store.Instrument(opts.Metrics)
+		}
 	}
 
 	return &Study{
@@ -441,8 +479,10 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 		Selection:   selection,
 		Sessions:    sessions,
 		SimShards:   shardCount,
+		Metrics:     opts.Metrics,
 		mem:         mem,
 		store:       store,
+		profiler:    opts.Profiler,
 	}, nil
 }
 
@@ -590,6 +630,7 @@ func (s *Study) Experiments() *experiments.Harness {
 			Span:        s.Span,
 			Seed:        s.Seed,
 			Parallelism: s.Parallelism,
+			Profiler:    s.profiler,
 		})
 	})
 	return s.exp
