@@ -43,6 +43,7 @@ func run(args []string) int {
 		enabled[a.Name] = true
 	}
 	customOnly := false
+	jsonOut := false
 
 	var cfgFile string
 	var patterns []string
@@ -55,6 +56,8 @@ func run(args []string) int {
 			return printVersion()
 		case arg == "-custom-only" || arg == "-custom-only=true":
 			customOnly = true
+		case arg == "-json" || arg == "-json=true":
+			jsonOut = true
 		case strings.HasPrefix(arg, "-"):
 			name, value, ok := parseToggle(arg)
 			if !ok || !setEnabled(enabled, name, value) {
@@ -77,13 +80,47 @@ func run(args []string) int {
 	}
 
 	if cfgFile != "" {
-		return lint.RunVetUnit(cfgFile, analyzers, os.Stderr)
+		return lint.RunVetUnit(cfgFile, analyzers, os.Stderr, jsonOut)
 	}
 	if len(patterns) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ytcdn-lint [-custom-only] [-<analyzer>=false ...] <package patterns>")
+		fmt.Fprintln(os.Stderr, "usage: ytcdn-lint [-json] [-custom-only] [-<analyzer>=false ...] <package patterns>")
 		return lint.ExitError
 	}
+	if jsonOut {
+		return standaloneJSON(patterns, analyzers)
+	}
 	return standalone(patterns, toggles, customOnly)
+}
+
+// standaloneJSON runs the custom suite in-process over the patterns
+// and prints every finding — surviving and suppressed — as one JSON
+// array on stdout. The standard go vet analyzers are skipped in this
+// mode: the machine-readable contract covers the custom suite, and a
+// consumer wanting vet's own findings runs `go vet -json` alongside.
+func standaloneJSON(patterns []string, analyzers []*lint.Analyzer) int {
+	units, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ytcdn-lint: %v\n", err)
+		return lint.ExitError
+	}
+	findings := []lint.JSONFinding{}
+	failing := 0
+	for _, u := range units {
+		kept, silenced := lint.RunAll(u.Fset, u.Files, u.Pkg, u.Info, analyzers)
+		failing += len(kept)
+		findings = append(findings, lint.FindingsJSON(u.Fset, kept, silenced)...)
+	}
+	data, err := json.MarshalIndent(findings, "", "\t")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ytcdn-lint: %v\n", err)
+		return lint.ExitError
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+	if failing > 0 {
+		return lint.ExitDiagnostics
+	}
+	return lint.ExitClean
 }
 
 // standalone drives the vet front end twice: once bare for the
@@ -163,6 +200,9 @@ func printFlags() int {
 	for _, a := range lint.Analyzers() {
 		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: "enable the " + a.Name + " analyzer (default true): " + a.Doc})
 	}
+	// Declaring json here lets `go vet -vettool=... -json` forward the
+	// flag to the per-unit invocations (JSONL on stderr).
+	flags = append(flags, jsonFlag{Name: "json", Bool: true, Usage: "emit findings as machine-readable JSON"})
 	data, err := json.MarshalIndent(flags, "", "\t")
 	if err != nil {
 		return lint.ExitError

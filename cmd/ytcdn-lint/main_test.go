@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestJSONOutput pins the -json contract end to end: build the binary,
+// run it over the hotalloc fixture module, and parse the output. The
+// array must carry unsuppressed findings (with file/line/analyzer/
+// message) and the suppressed inventory (with the directive reason),
+// and the process must exit 2 — findings — not 1 — tool failure.
+func TestJSONOutput(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "ytcdn-lint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building ytcdn-lint: %v\n%s", err, out)
+	}
+
+	fixture, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", "hotalloc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-json", "./flagged", "./suppressed")
+	cmd.Dir = fixture
+	out, err := cmd.Output()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit code 2 (findings), got err %v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("want exit code 2 (findings), got %d\nstderr: %s", code, ee.Stderr)
+	}
+
+	var findings []struct {
+		File           string `json:"file"`
+		Line           int    `json:"line"`
+		Col            int    `json:"col"`
+		Analyzer       string `json:"analyzer"`
+		Message        string `json:"message"`
+		Suppressed     bool   `json:"suppressed"`
+		SuppressReason string `json:"suppress_reason"`
+	}
+	if err := json.Unmarshal(out, &findings); err != nil {
+		t.Fatalf("parsing -json output: %v\n%s", err, out)
+	}
+
+	var live, suppressed int
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete finding record: %+v", f)
+		}
+		if f.Suppressed {
+			suppressed++
+			if f.SuppressReason == "" {
+				t.Errorf("suppressed finding without a reason: %+v", f)
+			}
+		} else {
+			live++
+			if f.Analyzer != "hotalloc" {
+				t.Errorf("unexpected analyzer %q in hotalloc fixture: %+v", f.Analyzer, f)
+			}
+		}
+	}
+	if live == 0 {
+		t.Error("no live findings from the flagged fixture package")
+	}
+	if suppressed == 0 {
+		t.Error("no suppressed findings from the suppressed fixture package")
+	}
+}

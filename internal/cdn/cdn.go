@@ -510,10 +510,23 @@ func (s *Simulator) emitVideo(vp *topology.VantagePoint, req Request, g *stats.R
 	})
 }
 
+// serverEndpoint maps a server to its data center's network endpoint.
+// (The DC's cached Endpoint inlines into this body, which puts it past
+// the inlining budget — so the contract here is allocation-freedom,
+// not inlining.)
+//
+//perf:noalloc
 func (s *Simulator) serverEndpoint(id topology.ServerID) netmodel.Endpoint {
 	return s.w.DC(s.w.Server(id).DC).Endpoint()
 }
 
+// record logs one flow into the capture sink, honouring the capture
+// window. It runs once per emitted flow — the busiest sink call in a
+// simulation — so it must stay allocation-free itself (the sink
+// behind it owns any buffering).
+//
+//perf:hot
+//perf:noalloc
 func (s *Simulator) record(dataset string, rec capture.FlowRecord) {
 	// The probe is torn down at the end of the capture window: a flow
 	// starting at or after it is never logged (its load accounting

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"github.com/ytcdn-sim/ytcdn/internal/content"
+	"github.com/ytcdn-sim/ytcdn/internal/stats"
+)
+
+// TestSelectionDecisionAllocs pins the zero-allocation contract of the
+// steady-state selection decision: a DNS resolution plus a
+// serve-or-redirect for a replicated video on an unloaded world must
+// not allocate — the paths through hashU64, the load trackers and the
+// rank-index tables are all heap-free. The spill and miss paths do
+// allocate (candidate and origin slices) and are exercised elsewhere;
+// this is the per-request fast path the simulator runs millions of
+// times. Opt-in via PERF_ASSERT=1 (the CI perfgate job): allocation
+// counts are a compiler property, not a correctness property.
+func TestSelectionDecisionAllocs(t *testing.T) {
+	if os.Getenv("PERF_ASSERT") != "1" {
+		t.Skip("set PERF_ASSERT=1 to assert decision-path allocation counts")
+	}
+	r := newRig(t, DefaultConfig())
+	g := stats.NewRNG(7)
+	ldns := r.w.LDNSes[0]
+	home := HomeOf(r.w.VantagePoints[ldns.VantagePoint])
+	const vid = content.VideoID(3) // replicated rank: everywhere, no miss path
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		srv := r.sel.ResolveDNS(ldns.ID, vid, g)
+		if d := r.sel.ServeOrRedirect(srv, vid, ldns.ID, home, g); d.Redirected {
+			t.Fatalf("replicated video redirected on an unloaded world: %+v", d)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state selection decision allocates %.1f times, want 0", allocs)
+	}
+}

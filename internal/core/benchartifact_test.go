@@ -2,6 +2,7 @@ package core
 
 import (
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -45,6 +46,11 @@ func TestBenchArtifact(t *testing.T) {
 		}
 
 		n := 0
+		// Monotonic Mallocs/TotalAlloc deltas make the per-decision
+		// allocation rates exact even across mid-loop GC cycles.
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
 		start := time.Now()
 		for i := 0; n < decisions; i++ {
 			ldns := ldnses[i%len(ldnses)]
@@ -60,10 +66,13 @@ func TestBenchArtifact(t *testing.T) {
 			n += 2
 		}
 		secs := time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms1)
 		spills, hotspots, misses := r.sel.Counters()
 		prefix := "selector." + p.Name() + "."
 		rep.Add(prefix+"decisions", float64(n), "count").
 			Add(prefix+"decisions_per_sec", float64(n)/secs, "events/sec").
+			Add(prefix+"allocs_per_decision", float64(ms1.Mallocs-ms0.Mallocs)/float64(n), "allocs/op").
+			Add(prefix+"alloc_bytes_per_decision", float64(ms1.TotalAlloc-ms0.TotalAlloc)/float64(n), "bytes/op").
 			Add(prefix+"spills", float64(spills), "count").
 			Add(prefix+"hotspots", float64(hotspots), "count").
 			Add(prefix+"misses", float64(misses), "count")

@@ -26,16 +26,37 @@ func NewLoadTracker(label string, n int) *LoadTracker {
 }
 
 // Acquire increments the load of entity i.
+//
+//perf:hot
+//perf:inline
+//perf:noalloc
 func (lt *LoadTracker) Acquire(i int) { atomic.AddInt64(&lt.counts[i], 1) }
 
 // Release decrements the load of entity i.
+//
+//perf:hot
+//perf:inline
+//perf:noalloc
 func (lt *LoadTracker) Release(i int) {
 	if atomic.AddInt64(&lt.counts[i], -1) < 0 {
-		panic(fmt.Sprintf("core: %s load of entity %d went negative", lt.label, i))
+		lt.negative(i)
 	}
 }
 
+// negative reports the balance bug. Split out of Release — and pinned
+// out of line — so the Sprintf machinery stays off Release's inlining
+// budget and allocation contract: Release runs once per flow end on
+// the hot path, the panic never in a correct run.
+//
+//go:noinline
+func (lt *LoadTracker) negative(i int) {
+	panic(fmt.Sprintf("core: %s load of entity %d went negative", lt.label, i))
+}
+
 // Load returns the current load of entity i.
+//
+//perf:inline
+//perf:noalloc
 func (lt *LoadTracker) Load(i int) int { return int(atomic.LoadInt64(&lt.counts[i])) }
 
 // Total returns the summed load across entities.

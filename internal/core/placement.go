@@ -17,7 +17,6 @@ package core
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -26,24 +25,40 @@ import (
 	"github.com/ytcdn-sim/ytcdn/internal/topology"
 )
 
+// FNV-1a 64-bit parameters (hash/fnv's, inlined below).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
 // hashU64 hashes a label plus integers into a 64-bit value. The
 // splitmix64 finalizer matters: two FNV hashes of the same small
 // integers under different labels stay correlated in their low bits
 // (FNV is affine mod 2^k), which would make residues used for
 // different decisions — origin-DC choice mod 14, in-DC server choice
 // mod 56 — structurally dependent. The finalizer breaks that.
+//
+// The FNV-1a core is written out by hand, byte-identical to
+// hash/fnv.New64a: the stdlib constructor returns a hash.Hash64
+// interface whose receiver escapes, one heap allocation per call on
+// the selection path that runs per decision.
+//
+//perf:hot
+//perf:noalloc
 func hashU64(label string, vals ...int64) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(label))
-	var buf [8]byte
+	h := fnvOffset64
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= fnvPrime64
+	}
 	for _, v := range vals {
 		u := uint64(v)
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(u >> (8 * i))
+		for s := 0; s < 64; s += 8 {
+			h ^= uint64(byte(u >> s))
+			h *= fnvPrime64
 		}
-		_, _ = h.Write(buf[:])
 	}
-	x := h.Sum64()
+	x := h
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
@@ -53,6 +68,9 @@ func hashU64(label string, vals ...int64) uint64 {
 }
 
 // unit maps a hash to [0,1).
+//
+//perf:inline
+//perf:noalloc
 func unit(h uint64) float64 { return float64(h%1_000_000_000) / 1_000_000_000 }
 
 // OriginPolicy controls where unreplicated (tail) videos live.

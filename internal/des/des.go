@@ -5,7 +5,6 @@
 package des
 
 import (
-	"container/heap"
 	"sync/atomic"
 	"time"
 )
@@ -35,26 +34,73 @@ type event struct {
 	run func()
 }
 
+// eventHeap is a concrete-typed binary min-heap ordered by (at, seq).
+// It deliberately does not implement container/heap: the interface{}
+// Push/Pop protocol boxes every event — two heap allocations per
+// scheduled event, on the busiest loop in the simulator. The sift
+// operations below mirror container/heap's up/down exactly and (at,
+// seq) is a strict total order (seq is unique), so the pop sequence —
+// and therefore every simulation result — is identical to the
+// container/heap version.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+//perf:inline
+//perf:noalloc
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
+
+// push appends ev and sifts it up.
+//
+//perf:hot
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev) //lint:ok hotalloc queue growth is amortized; the backing array is retained across pops
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+//
+//perf:hot
+//perf:noalloc
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	ev := s[n]
 	// Zero the vacated slot so the popped event's run closure (and
 	// whatever it captures) becomes collectable; otherwise the backing
 	// array pins every executed event for the lifetime of the engine.
-	old[n-1] = event{}
-	*h = old[:n-1]
+	s[n] = event{}
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		m := left
+		if right := left + 1; right < n && s.less(right, left) {
+			m = right
+		}
+		if !s.less(m, i) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
 	return ev
 }
 
@@ -81,7 +127,7 @@ func (e *Engine) Schedule(at time.Duration, run func()) {
 	if at < e.now {
 		at = e.now
 	}
-	heap.Push(&e.queue, event{at: at, seq: e.seq, run: run})
+	e.queue.push(event{at: at, seq: e.seq, run: run})
 	e.seq++
 	e.liveDepth.Store(int64(len(e.queue)))
 }
@@ -97,7 +143,7 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(event)
+	ev := e.queue.pop()
 	e.now = ev.at
 	e.liveDepth.Store(int64(len(e.queue)))
 	e.liveNow.Store(int64(ev.at))

@@ -1,10 +1,11 @@
 // Package lint is the repo's static layer: a small, dependency-free
 // analysis framework (in the spirit of golang.org/x/tools/go/analysis,
-// which this module deliberately does not depend on) plus the five
+// which this module deliberately does not depend on) plus the seven
 // analyzers that encode the invariants every parity suite in this
 // repository leans on — map-iteration determinism, RNG purity, RNG
-// stream ownership, mutex guard discipline, and the observability
-// plane split.
+// stream ownership, mutex guard discipline, the observability plane
+// split, and the hot-path performance contracts (allocation discipline
+// in //perf:-annotated functions, no mixed atomic/plain field access).
 //
 // The framework runs one package at a time over parsed, type-checked
 // source. It is driven two ways: by cmd/ytcdn-lint speaking the
@@ -83,7 +84,7 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 
 // Analyzers returns the full suite in deterministic order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetMap, RNGPurity, RNGShare, LockGuard, ObsPlane}
+	return []*Analyzer{DetMap, RNGPurity, RNGShare, LockGuard, ObsPlane, HotAlloc, AtomicMix}
 }
 
 // suppressionRe matches a //lint:ok directive. Group 1 is the analyzer
@@ -120,6 +121,13 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
 	return out
 }
 
+// SuppressedDiagnostic pairs a finding with the reasoned //lint:ok
+// directive that silenced it, for machine-readable output.
+type SuppressedDiagnostic struct {
+	Diagnostic
+	Reason string
+}
+
 // Run executes the analyzers over one package and returns the
 // surviving diagnostics sorted by position. Suppressions are applied
 // here: a finding whose line (or the line above it) carries a
@@ -127,6 +135,14 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
 // directive naming an analyzer in this run but missing its reason is
 // reported as a finding of that analyzer.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	kept, _ := RunAll(fset, files, pkg, info, analyzers)
+	return kept
+}
+
+// RunAll is Run plus the findings that reasoned directives silenced —
+// the -json output reports both, so downstream tooling can audit the
+// suppression inventory as well as the live findings.
+func RunAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, []SuppressedDiagnostic) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
@@ -150,27 +166,32 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 	}
 
 	kept := diags[:0]
+	var silenced []SuppressedDiagnostic
 	for _, d := range diags {
-		if !suppressed(fset, sups, d) {
+		if reason, ok := suppressedBy(fset, sups, d); ok {
+			silenced = append(silenced, SuppressedDiagnostic{Diagnostic: d, Reason: reason})
+		} else {
 			kept = append(kept, d)
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		pi, pj := fset.Position(kept[i].Pos), fset.Position(kept[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
+	byPos := func(a, b Diagnostic) bool {
+		pa, pb := fset.Position(a.Pos), fset.Position(b.Pos)
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
 		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
+		if pa.Line != pb.Line {
+			return pa.Line < pb.Line
 		}
-		return kept[i].Message < kept[j].Message
-	})
-	return kept
+		return a.Message < b.Message
+	}
+	sort.Slice(kept, func(i, j int) bool { return byPos(kept[i], kept[j]) })
+	sort.Slice(silenced, func(i, j int) bool { return byPos(silenced[i].Diagnostic, silenced[j].Diagnostic) })
+	return kept, silenced
 }
 
-// suppressed reports whether d is covered by a reasoned directive on
-// its own line or the line directly above.
-func suppressed(fset *token.FileSet, sups []suppression, d Diagnostic) bool {
+// suppressedBy returns the reason of the reasoned directive covering d
+// — on its own line or the line directly above — if any.
+func suppressedBy(fset *token.FileSet, sups []suppression, d Diagnostic) (string, bool) {
 	pos := fset.Position(d.Pos)
 	for _, s := range sups {
 		if s.analyzer != d.Analyzer || s.reason == "" {
@@ -180,8 +201,8 @@ func suppressed(fset *token.FileSet, sups []suppression, d Diagnostic) bool {
 			continue
 		}
 		if s.line == pos.Line || s.line == pos.Line-1 {
-			return true
+			return s.reason, true
 		}
 	}
-	return false
+	return "", false
 }

@@ -1,0 +1,43 @@
+// Package clean keeps atomic and plain access disciplined: every
+// plain access happens under a mutex on the same receiver chain.
+package clean
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Tracker counts atomically on the hot path and snapshots under mu.
+type Tracker struct {
+	mu     sync.Mutex
+	counts []int64
+	total  int64
+}
+
+// NewTracker constructs before the value is shared — composite
+// literals are exempt by shape.
+func NewTracker(n int) *Tracker {
+	return &Tracker{counts: make([]int64, n)}
+}
+
+// Add is the lock-free hot path.
+func (t *Tracker) Add(i int) {
+	atomic.AddInt64(&t.counts[i], 1)
+	atomic.AddInt64(&t.total, 1)
+}
+
+// Snapshot reads plainly, guarded by the receiver's mutex.
+func (t *Tracker) Snapshot() ([]int64, int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int64, len(t.counts))
+	for i := range t.counts {
+		out[i] = t.counts[i]
+	}
+	return out, t.total
+}
+
+// Len reads only the slice header of the element-atomic field.
+func (t *Tracker) Len() int {
+	return len(t.counts)
+}

@@ -1,0 +1,45 @@
+// Package flagged exercises the atomicmix triggers.
+package flagged
+
+import "sync/atomic"
+
+// Gauge mixes atomic and plain access to its fields.
+type Gauge struct {
+	n     int64
+	peaks []int64
+}
+
+// Inc is the atomic whole-field path.
+func (g *Gauge) Inc() {
+	atomic.AddInt64(&g.n, 1)
+}
+
+// Read reads the atomically-written field plainly, no lock.
+func (g *Gauge) Read() int64 {
+	return g.n // want "plain access races"
+}
+
+// Reset writes it plainly.
+func (g *Gauge) Reset() {
+	g.n = 0 // want "plain access races"
+}
+
+// Bump is the atomic element path.
+func (g *Gauge) Bump(i int) {
+	atomic.AddInt64(&g.peaks[i], 1)
+}
+
+// Peek reads an element plainly.
+func (g *Gauge) Peek(i int) int64 {
+	return g.peaks[i] // want "element access races"
+}
+
+// Swap replaces the whole slice out from under concurrent adders.
+func (g *Gauge) Swap(s []int64) {
+	g.peaks = s // want "whole-field write races"
+}
+
+// Size only reads the slice header, which no element atomic touches.
+func (g *Gauge) Size() int {
+	return len(g.peaks)
+}

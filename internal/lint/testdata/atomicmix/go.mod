@@ -1,0 +1,3 @@
+module example.com/atomicmixfix
+
+go 1.21

@@ -1,0 +1,28 @@
+// Package badperf exercises the annotation-language findings: each
+// malformed //perf: directive below is itself a hotalloc diagnostic.
+// The expectations live in TestHotAllocAnnotationErrors rather than in
+// // want comments, because the findings sit on the directive lines.
+package badperf
+
+//perf:fast
+var speedy = 1
+
+//perf:hot
+var notAFunc = 2
+
+// withArg carries a trailing argument on a contract verb.
+//
+//perf:noalloc always
+func withArg() {}
+
+// badCheck names an unknown compiler check.
+func badCheck() {
+	//perf:ok allocs because reasons
+	_ = speedy
+}
+
+// reasonless has a check but no reason.
+func reasonless() {
+	//perf:ok escape
+	_ = notAFunc
+}

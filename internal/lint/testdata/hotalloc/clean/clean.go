@@ -1,0 +1,42 @@
+// Package clean holds hot-path code that satisfies its contracts.
+package clean
+
+// Table interns byte strings.
+type Table struct{ m map[string]string }
+
+// hotPrealloc uses the tolerated preallocation idiom: a make with
+// explicit capacity and appends into it.
+//
+//perf:hot
+func hotPrealloc(in []int) []int {
+	out := make([]int, 0, len(in))
+	for _, v := range in {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Intern hits the map-index conversion exemption: the compiler elides
+// the []byte->string copy for a direct map lookup.
+//
+//perf:hot
+func (t *Table) Intern(b []byte) (string, bool) {
+	s, ok := t.m[string(b)]
+	return s, ok
+}
+
+// hotScalar allocates nothing at all.
+//
+//perf:noalloc
+func hotScalar(a, b uint64) uint64 {
+	a ^= a >> 30
+	a *= b
+	return a ^ a>>27
+}
+
+// plain is unannotated: the contract does not apply.
+func plain() []int {
+	var out []int
+	out = append(out, 1)
+	return append(out, 2)
+}

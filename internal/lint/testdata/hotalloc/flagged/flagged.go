@@ -1,0 +1,59 @@
+// Package flagged exercises the hotalloc allocation triggers.
+package flagged
+
+// Record is a sample payload value.
+type Record struct{ A, B int }
+
+// Sink consumes anything.
+func Sink(v any) {}
+
+// hotAppend grows a slice without preallocating it.
+//
+//perf:hot
+func hotAppend(in []int) []int {
+	var out []int
+	for _, v := range in {
+		out = append(out, v) // want "un-preallocated append"
+	}
+	return out
+}
+
+// hotLiterals runs through the literal and builtin allocators.
+//
+//perf:hot
+func hotLiterals() {
+	m := map[string]int{} // want "map literal allocates"
+	_ = m
+	s := []int{1, 2} // want "slice literal allocates"
+	_ = s
+	r := &Record{} // want "&composite literal allocates"
+	_ = r
+	p := new(Record) // want "new allocates"
+	_ = p
+	q := make(map[string]int) // want "make allocates"
+	_ = q
+	f := func() {} // want "closure literal allocates"
+	f()
+}
+
+// hotConvert converts and boxes.
+//
+//perf:hot
+func hotConvert(b []byte, s string, r Record) {
+	_ = string(b) // want "conversion allocates"
+	_ = []byte(s) // want "conversion allocates"
+	v := any(r)   // want "boxes"
+	_ = v
+	Sink(r) // want "argument boxes"
+}
+
+// noallocStrict rejects even the preallocation idiom.
+//
+//perf:noalloc
+func noallocStrict(n int) []int {
+	out := make([]int, 0, n) // want "make allocates"
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "append may allocate"
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module example.com/hotallocfix
+
+go 1.21

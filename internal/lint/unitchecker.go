@@ -41,11 +41,14 @@ const (
 
 // RunVetUnit analyzes the single compilation unit described by the
 // go vet config file at cfgPath and returns the process exit code.
-// Diagnostics and errors are printed to stderr. Packages outside any
-// module (the standard library and toolchain-internal dependencies
-// go vet also schedules) are skipped: the suite encodes this repo's
-// invariants, not Go's.
-func RunVetUnit(cfgPath string, analyzers []*Analyzer, stderr io.Writer) int {
+// Diagnostics and errors are printed to stderr — as position-prefixed
+// text, or as one JSON record per line when jsonOut is set (go vet
+// relays a vettool's stderr verbatim, so JSONL survives the driver
+// where a single document would be interleaved across units).
+// Packages outside any module (the standard library and
+// toolchain-internal dependencies go vet also schedules) are skipped:
+// the suite encodes this repo's invariants, not Go's.
+func RunVetUnit(cfgPath string, analyzers []*Analyzer, stderr io.Writer, jsonOut bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintf(stderr, "ytcdn-lint: %v\n", err)
@@ -88,9 +91,19 @@ func RunVetUnit(cfgPath string, analyzers []*Analyzer, stderr io.Writer) int {
 		return ExitError
 	}
 
-	diags := Run(unit.Fset, unit.Files, unit.Pkg, unit.Info, analyzers)
-	for _, d := range diags {
-		fmt.Fprintf(stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	diags, silenced := RunAll(unit.Fset, unit.Files, unit.Pkg, unit.Info, analyzers)
+	if jsonOut {
+		enc := json.NewEncoder(stderr)
+		for _, f := range FindingsJSON(unit.Fset, diags, silenced) {
+			if err := enc.Encode(f); err != nil {
+				fmt.Fprintf(stderr, "ytcdn-lint: %v\n", err)
+				return ExitError
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		return ExitDiagnostics

@@ -36,9 +36,17 @@ type Counter struct {
 }
 
 // Add increments the counter by n.
+//
+//perf:hot
+//perf:inline
+//perf:noalloc
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
+//
+//perf:hot
+//perf:inline
+//perf:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
@@ -50,9 +58,15 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//perf:inline
+//perf:noalloc
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Add shifts the gauge by delta.
+//
+//perf:inline
+//perf:noalloc
 func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 
 // Value returns the current value.
@@ -89,6 +103,9 @@ func NewHistogram() *Histogram {
 }
 
 // bucketOf maps an observation to its bucket index.
+//
+//perf:inline
+//perf:noalloc
 func bucketOf(v int64) int {
 	if v <= 0 {
 		return 0
@@ -110,6 +127,9 @@ func BucketUpper(i int) int64 {
 }
 
 // Observe records one value.
+//
+//perf:hot
+//perf:noalloc
 func (h *Histogram) Observe(v int64) {
 	h.buckets[bucketOf(v)].Add(1)
 	h.count.Add(1)

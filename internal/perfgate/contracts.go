@@ -1,0 +1,140 @@
+package perfgate
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/ytcdn-sim/ytcdn/internal/lint"
+)
+
+// suppression is one reasoned //perf:ok <check> <reason> directive.
+type suppression struct {
+	file   string
+	line   int
+	check  string
+	reason string
+}
+
+// scanContracts walks the module rooted at dir and parses every
+// production .go file for //perf: contract annotations and //perf:ok
+// suppressions. testdata trees, hidden directories and nested modules
+// are skipped — they are outside the `go build ./...` the events came
+// from.
+func scanContracts(dir string) ([]FuncContract, []suppression, error) {
+	var contracts []FuncContract
+	var sups []suppression
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if path != dir {
+				if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+					return filepath.SkipDir // nested module
+				}
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		fileContracts(fset, f, rel, &contracts)
+		fileSuppressions(fset, f, rel, &sups)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return contracts, sups, nil
+}
+
+// fileContracts collects the //perf:-annotated function declarations.
+func fileContracts(fset *token.FileSet, f *ast.File, rel string, out *[]FuncContract) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil || fd.Body == nil {
+			continue
+		}
+		c := FuncContract{
+			File:     rel,
+			DeclLine: fset.Position(fd.Pos()).Line,
+			EndLine:  fset.Position(fd.End()).Line,
+			Name:     funcDisplayName(fd),
+		}
+		for _, cm := range fd.Doc.List {
+			verb, _, ok := lint.ParsePerfText(cm.Text)
+			if !ok {
+				continue
+			}
+			switch verb {
+			case "hot":
+				c.Hot = true
+			case "noalloc":
+				c.NoAlloc = true
+			case "inline":
+				c.Inline = true
+			}
+		}
+		if c.Hot || c.NoAlloc || c.Inline {
+			*out = append(*out, c)
+		}
+	}
+}
+
+// fileSuppressions collects every //perf:ok directive in the file.
+// Reasonless ones are kept (with reason "") so callers can see them,
+// but evaluate ignores them — and the hotalloc analyzer reports them.
+func fileSuppressions(fset *token.FileSet, f *ast.File, rel string, out *[]suppression) {
+	for _, cg := range f.Comments {
+		for _, cm := range cg.List {
+			verb, arg, ok := lint.ParsePerfText(cm.Text)
+			if !ok || verb != "ok" {
+				continue
+			}
+			check, reason, _ := strings.Cut(arg, " ")
+			*out = append(*out, suppression{
+				file:   rel,
+				line:   fset.Position(cm.Pos()).Line,
+				check:  check,
+				reason: strings.TrimSpace(reason),
+			})
+		}
+	}
+}
+
+// funcDisplayName renders a function's name the way the compiler
+// prints it in -m diagnostics: F, T.M, or (*T).M.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		if id, ok := star.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fd.Name.Name
+		}
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

@@ -1,0 +1,67 @@
+package perfgate
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// posLineRe matches one positioned diagnostic: path:line:col: message.
+var posLineRe = regexp.MustCompile(`^([^ :]+):(\d+):(\d+): (.*)$`)
+
+// ParseDiagnostics parses `go build -gcflags=-m=2` output into the
+// structured event stream. The raw stream interleaves `# importpath`
+// group headers, positioned one-liners, and indented escape-flow
+// detail; with -m=2 each escape is additionally printed twice (once
+// with a trailing colon introducing the flow, once bare), so events
+// are deduplicated by position, kind and detail.
+func ParseDiagnostics(out string) []Event {
+	var events []Event
+	seen := map[Event]bool{}
+	add := func(e Event) {
+		if !seen[e] {
+			seen[e] = true
+			events = append(events, e)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := posLineRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if msg == "" || msg[0] == ' ' || msg[0] == '\t' {
+			continue // escape-flow detail lines are indented after the position
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		e := Event{File: strings.TrimPrefix(m[1], "./"), Line: ln, Col: col}
+		switch {
+		case strings.HasPrefix(msg, "can inline "):
+			e.Kind = CanInline
+			e.Detail = msg[len("can inline "):]
+			if i := strings.Index(e.Detail, " with cost "); i >= 0 {
+				e.Detail = e.Detail[:i]
+			}
+		case strings.HasPrefix(msg, "cannot inline "):
+			e.Kind = CannotInline
+			e.Detail = msg[len("cannot inline "):]
+		case strings.HasPrefix(msg, "moved to heap: "):
+			e.Kind = HeapMove
+			e.Detail = msg[len("moved to heap: "):]
+		case strings.HasPrefix(msg, "leaking param"):
+			e.Kind = Leak
+			e.Detail = msg
+		case strings.HasSuffix(msg, " escapes to heap") || strings.HasSuffix(msg, " escapes to heap:"):
+			e.Kind = Escape
+			e.Detail = strings.TrimSuffix(strings.TrimSuffix(msg, ":"), " escapes to heap")
+		default:
+			continue // "inlining call to", debug chatter, build noise
+		}
+		add(e)
+	}
+	return events
+}

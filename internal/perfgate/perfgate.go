@@ -1,0 +1,298 @@
+// Package perfgate turns the Go compiler's own optimizer diagnostics
+// into an enforceable contract. It builds a module with
+// `go build -gcflags=-m=2`, parses the escape-analysis and inlining
+// output into a structured event stream, and checks the events against
+// the //perf: annotations in the source (see internal/lint/perf.go for
+// the language): a `//perf:noalloc` function with a heap escape inside
+// its body, or a `//perf:inline` function the compiler reports as
+// "cannot inline", is a finding.
+//
+// Deliberate exceptions are suppressed in place with
+//
+//	//perf:ok <check> <reason>
+//
+// on the offending line or the line above, where <check> is "escape"
+// or "inline" and the reason is mandatory — a reasonless directive
+// suppresses nothing (and the hotalloc analyzer reports it).
+//
+// The verdict for every annotated function is rendered by Snapshot
+// into a deterministic report pinned at testdata/perfgate.golden, so a
+// regression — a function falling out of its contract, a contract
+// silently disappearing, a new suppression — fails CI as a golden
+// diff even when it is not an outright finding. Inlining decisions
+// move between compiler releases, so the tree-level golden test is
+// opt-in (PERFGATE=1) and CI pins the toolchain for it; the fixture
+// tests in this package are version-robust and always run.
+package perfgate
+
+import (
+	"fmt"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// EventKind classifies one compiler diagnostic line.
+type EventKind string
+
+const (
+	// CanInline is "can inline f with cost N as: ...".
+	CanInline EventKind = "can-inline"
+	// CannotInline is "cannot inline f: reason".
+	CannotInline EventKind = "cannot-inline"
+	// Escape is "expr escapes to heap" — a heap allocation at that site.
+	Escape EventKind = "escape"
+	// HeapMove is "moved to heap: x" — a local forced onto the heap.
+	HeapMove EventKind = "heap-move"
+	// Leak is "leaking param[ content]: x" — the param flows to the
+	// heap, but any allocation happens at the caller. Recorded for the
+	// diagnostics artifact, not a noalloc violation by itself.
+	Leak EventKind = "leak"
+)
+
+// Event is one parsed -m=2 diagnostic, positioned module-relative.
+type Event struct {
+	File string
+	Line int
+	Col  int
+	Kind EventKind
+	// Detail is the function name for inline events, the escaping
+	// expression for escapes, the variable for heap moves, and the
+	// parameter description for leaks.
+	Detail string
+}
+
+// FuncContract is one //perf:-annotated function found in the source.
+type FuncContract struct {
+	File     string
+	DeclLine int // line of the func keyword (where inline events land)
+	EndLine  int // last body line (escape events attribute by span)
+	Name     string
+	Hot      bool
+	NoAlloc  bool
+	Inline   bool
+}
+
+// Contracts returns the annotation verbs as a sorted comma list.
+func (c FuncContract) Contracts() string {
+	var v []string
+	if c.Hot {
+		v = append(v, "hot")
+	}
+	if c.Inline {
+		v = append(v, "inline")
+	}
+	if c.NoAlloc {
+		v = append(v, "noalloc")
+	}
+	return strings.Join(v, ",")
+}
+
+// Finding is one contract violation.
+type Finding struct {
+	File    string
+	Line    int
+	Col     int
+	Func    string
+	Check   string // "escape" or "inline"
+	Message string
+	// SuppressReason is the //perf:ok reason when the finding was
+	// suppressed (such findings live in Result.Suppressed).
+	SuppressReason string
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s:%d:%d: [%s] %s: %s", f.File, f.Line, f.Col, f.Check, f.Func, f.Message)
+	if f.SuppressReason != "" {
+		s += " (suppressed: " + f.SuppressReason + ")"
+	}
+	return s
+}
+
+// Result is one gate evaluation over a module.
+type Result struct {
+	Toolchain  string // go major.minor, the axis the golden depends on
+	Contracts  []FuncContract
+	Events     []Event
+	Findings   []Finding // unsuppressed violations — the gate fails on any
+	Suppressed []Finding
+}
+
+// Check builds the module rooted at dir with escape/inline diagnostics
+// enabled, scans its sources for //perf: contracts, and evaluates one
+// against the other.
+func Check(dir string) (*Result, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m=2", "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m=2 in %s: %v\n%s", dir, err, out)
+	}
+	events := ParseDiagnostics(string(out))
+
+	contracts, sups, err := scanContracts(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Result{
+		Toolchain: toolchainMinor(),
+		Contracts: contracts,
+		Events:    events,
+	}
+	r.evaluate(sups)
+	return r, nil
+}
+
+// toolchainMinor reduces runtime.Version() to its go1.N prefix —
+// patch releases do not move inlining or escape analysis.
+func toolchainMinor() string {
+	v := runtime.Version()
+	if i := strings.LastIndex(v, "."); strings.Count(v, ".") == 2 && i > 0 {
+		return v[:i]
+	}
+	return v
+}
+
+// evaluate matches events to contracts and applies suppressions.
+func (r *Result) evaluate(sups []suppression) {
+	// Index suppressions by file and line for the line/line-above rule.
+	type supKey struct {
+		file  string
+		line  int
+		check string
+	}
+	supAt := map[supKey]string{}
+	for _, s := range sups {
+		if s.reason == "" {
+			continue // reasonless directives suppress nothing
+		}
+		supAt[supKey{s.file, s.line, s.check}] = s.reason
+	}
+	reasonFor := func(file string, line int, check string) (string, bool) {
+		for _, l := range [2]int{line, line - 1} {
+			if reason, ok := supAt[supKey{file, l, check}]; ok {
+				return reason, true
+			}
+		}
+		return "", false
+	}
+	record := func(f Finding) {
+		if reason, ok := reasonFor(f.File, f.Line, f.Check); ok {
+			f.SuppressReason = reason
+			r.Suppressed = append(r.Suppressed, f)
+			return
+		}
+		r.Findings = append(r.Findings, f)
+	}
+
+	for _, c := range r.Contracts {
+		for _, e := range r.Events {
+			if e.File != c.File {
+				continue
+			}
+			switch {
+			case c.Inline && e.Kind == CannotInline && e.Line == c.DeclLine:
+				record(Finding{
+					File: e.File, Line: e.Line, Col: e.Col, Func: c.Name,
+					Check:   "inline",
+					Message: "//perf:inline function no longer inlines: " + e.Detail,
+				})
+			case c.NoAlloc && (e.Kind == Escape || e.Kind == HeapMove) &&
+				e.Line >= c.DeclLine && e.Line <= c.EndLine:
+				what := e.Detail + " escapes to heap"
+				if e.Kind == HeapMove {
+					what = e.Detail + " moved to heap"
+				}
+				record(Finding{
+					File: e.File, Line: e.Line, Col: e.Col, Func: c.Name,
+					Check:   "escape",
+					Message: "//perf:noalloc function allocates: " + what,
+				})
+			}
+		}
+	}
+	sortFindings(r.Findings)
+	sortFindings(r.Suppressed)
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].File != fs[j].File {
+			return fs[i].File < fs[j].File
+		}
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		if fs[i].Col != fs[j].Col {
+			return fs[i].Col < fs[j].Col
+		}
+		return fs[i].Message < fs[j].Message
+	})
+}
+
+// Snapshot renders the deterministic per-contract verdict report the
+// golden pins. It contains every annotated function with its contract
+// verbs and pass/fail verdicts, followed by every suppression in
+// effect — so removing an annotation, losing a verdict, or adding an
+// escape hatch all show up as a diff.
+func (r *Result) Snapshot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ytcdn perfgate snapshot v1 (%s)\n", r.Toolchain)
+	cs := append([]FuncContract(nil), r.Contracts...)
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].File != cs[j].File {
+			return cs[i].File < cs[j].File
+		}
+		return cs[i].DeclLine < cs[j].DeclLine
+	})
+	failed := map[string]map[string]bool{} // func key -> check -> failed
+	key := func(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+	for _, f := range r.Findings {
+		k := key(f.File, f.Line)
+		if f.Check == "escape" {
+			// escapes land on body lines; attribute via the owning span
+			for _, c := range cs {
+				if c.File == f.File && f.Line >= c.DeclLine && f.Line <= c.EndLine {
+					k = key(c.File, c.DeclLine)
+				}
+			}
+		}
+		if failed[k] == nil {
+			failed[k] = map[string]bool{}
+		}
+		failed[k][f.Check] = true
+	}
+	verdict := func(c FuncContract, check string) string {
+		if failed[key(c.File, c.DeclLine)][check] {
+			return "FAIL"
+		}
+		return "ok"
+	}
+	for _, c := range cs {
+		fmt.Fprintf(&b, "func %s:%d %s contracts=%s", c.File, c.DeclLine, c.Name, c.Contracts())
+		if c.Inline {
+			fmt.Fprintf(&b, " inline=%s", verdict(c, "inline"))
+		}
+		if c.NoAlloc {
+			fmt.Fprintf(&b, " noalloc=%s", verdict(c, "escape"))
+		}
+		b.WriteString("\n")
+	}
+	for _, f := range r.Suppressed {
+		fmt.Fprintf(&b, "suppressed %s:%d %s %s: %s\n", f.File, f.Line, f.Check, f.Func, f.SuppressReason)
+	}
+	return b.String()
+}
+
+// Diagnostics renders the full parsed event stream, for the CI
+// artifact — the raw material behind the snapshot verdicts.
+func (r *Result) Diagnostics() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ytcdn perfgate diagnostics (%s): %d events\n", r.Toolchain, len(r.Events))
+	for _, e := range r.Events {
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n", e.File, e.Line, e.Col, e.Kind, e.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package perfgate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseDiagnostics pins the -m=2 line formats the parser
+// understands, including the double-printed escape and indented flow
+// lines it must fold away.
+func TestParseDiagnostics(t *testing.T) {
+	out := `# example.com/mod
+./a.go:10:6: can inline Add with cost 4 as: func(int64, int64) int64 { return a + b }
+internal/x/b.go:20:6: cannot inline Big: function too complex: cost 200 exceeds budget 80
+internal/x/b.go:25:9: &Box{...} escapes to heap:
+internal/x/b.go:25:9:   flow: {heap} = &{storage for &Box{...}}:
+internal/x/b.go:25:9:     from &Box{...} (spill) at internal/x/b.go:25:9
+internal/x/b.go:25:9: &Box{...} escapes to heap
+internal/x/b.go:30:2: moved to heap: buf
+internal/x/b.go:19:14: leaking param: name
+internal/x/b.go:21:6: inlining call to Add
+`
+	events := ParseDiagnostics(out)
+	want := []Event{
+		{File: "a.go", Line: 10, Col: 6, Kind: CanInline, Detail: "Add"},
+		{File: "internal/x/b.go", Line: 20, Col: 6, Kind: CannotInline, Detail: "Big: function too complex: cost 200 exceeds budget 80"},
+		{File: "internal/x/b.go", Line: 25, Col: 9, Kind: Escape, Detail: "&Box{...}"},
+		{File: "internal/x/b.go", Line: 30, Col: 2, Kind: HeapMove, Detail: "buf"},
+		{File: "internal/x/b.go", Line: 19, Col: 14, Kind: Leak, Detail: "leaking param: name"},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events, want %d: %v", len(events), len(want), events)
+	}
+	for i, e := range events {
+		if e != want[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, e, want[i])
+		}
+	}
+}
+
+// TestGateFailsOnInjectedEscape is the negative path the CI job relies
+// on: a module with a deliberate heap escape in a //perf:noalloc
+// function and a non-inlinable //perf:inline function must fail the
+// gate, while the suppressed escape is recorded without failing it.
+func TestGateFailsOnInjectedEscape(t *testing.T) {
+	r, err := Check(filepath.Join("testdata", "escapemod"))
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(r.Contracts) != 3 {
+		t.Fatalf("got %d contracts, want 3: %+v", len(r.Contracts), r.Contracts)
+	}
+	var escapeInLeak, inlineInHeavy bool
+	for _, f := range r.Findings {
+		switch {
+		case f.Check == "escape" && f.Func == "Leak":
+			escapeInLeak = true
+		case f.Check == "inline" && f.Func == "Heavy":
+			inlineInHeavy = true
+		case f.Func == "Tolerated":
+			t.Errorf("suppressed escape in Tolerated leaked into findings: %v", f)
+		}
+	}
+	if !escapeInLeak {
+		t.Errorf("injected heap escape in Leak did not fail the gate; findings: %v", r.Findings)
+	}
+	if !inlineInHeavy {
+		t.Errorf("non-inlinable Heavy did not fail the gate; findings: %v", r.Findings)
+	}
+	if len(r.Suppressed) != 1 || r.Suppressed[0].Func != "Tolerated" || r.Suppressed[0].SuppressReason == "" {
+		t.Errorf("want exactly one reasoned suppression on Tolerated, got %v", r.Suppressed)
+	}
+	snap := r.Snapshot()
+	for _, want := range []string{"Leak contracts=noalloc noalloc=FAIL", "Heavy contracts=inline inline=FAIL", "suppressed escapemod.go:"} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+}
+
+// TestGateCleanModule is the matching positive path.
+func TestGateCleanModule(t *testing.T) {
+	r, err := Check(filepath.Join("testdata", "cleanmod"))
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(r.Findings) != 0 {
+		t.Fatalf("clean module produced findings: %v", r.Findings)
+	}
+	if len(r.Suppressed) != 0 {
+		t.Fatalf("clean module produced suppressions: %v", r.Suppressed)
+	}
+	snap := r.Snapshot()
+	for _, want := range []string{
+		"func cleanmod.go:9 Add contracts=inline,noalloc inline=ok noalloc=ok",
+		"func cleanmod.go:17 Fill contracts=hot,noalloc noalloc=ok",
+	} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+}
+
+// TestPerfGateTree runs the gate over the real module and pins the
+// verdict snapshot at testdata/perfgate.golden. Inlining decisions
+// move between compiler releases, so the test is opt-in: CI runs it in
+// the perfgate job with the pinned toolchain (PERFGATE=1), and the
+// golden is re-pinned with PERFGATE_REGEN=1 after an intentional
+// change. PERFGATE_SNAPSHOT_OUT writes the full diagnostics dump for
+// the CI artifact.
+func TestPerfGateTree(t *testing.T) {
+	if os.Getenv("PERFGATE") != "1" && os.Getenv("PERFGATE_REGEN") != "1" {
+		t.Skip("tree-level gate is toolchain-pinned; set PERFGATE=1 (CI perfgate job) to run")
+	}
+	r, err := Check(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(r.Contracts) == 0 {
+		t.Fatal("no //perf: contracts found in the tree — annotation scan is broken")
+	}
+	for _, f := range r.Findings {
+		t.Errorf("perfgate: %s", f)
+	}
+	if out := os.Getenv("PERFGATE_SNAPSHOT_OUT"); out != "" {
+		if err := os.WriteFile(out, []byte(r.Diagnostics()+"\n"+r.Snapshot()), 0o644); err != nil {
+			t.Fatalf("writing diagnostics artifact: %v", err)
+		}
+	}
+	golden := filepath.Join("testdata", "perfgate.golden")
+	snap := r.Snapshot()
+	if os.Getenv("PERFGATE_REGEN") == "1" {
+		if err := os.WriteFile(golden, []byte(snap), 0o644); err != nil {
+			t.Fatalf("re-pinning golden: %v", err)
+		}
+		t.Logf("re-pinned %s (%d contracts)", golden, len(r.Contracts))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (re-pin with PERFGATE_REGEN=1): %v", err)
+	}
+	if snap != string(want) {
+		t.Errorf("perfgate snapshot drifted from %s.\nIf the change is intentional, re-pin with:\n  PERFGATE_REGEN=1 go test ./internal/perfgate -run TestPerfGateTree\n--- golden ---\n%s--- got ---\n%s", golden, want, snap)
+	}
+}
+
+// TestTreePerfOKInventory pins the //perf:ok suppression inventory of
+// the repository without needing the compiler: the real tree currently
+// carries none (the fixture modules under testdata are skipped by the
+// scanner), so a new //perf:ok anywhere is a deliberate decision that
+// must update this count — the perfgate golden records the where and
+// why. The companion //lint:ok inventory lives in internal/lint's
+// TestTreeClean.
+func TestTreePerfOKInventory(t *testing.T) {
+	contracts, sups, err := scanContracts(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contracts) == 0 {
+		t.Fatal("no //perf: contracts found in the tree — annotation scan is broken")
+	}
+	const wantSuppressions = 0
+	if len(sups) != wantSuppressions {
+		t.Errorf("tree carries %d //perf:ok suppression(s), inventory documents %d: %+v", len(sups), wantSuppressions, sups)
+	}
+}

@@ -1,0 +1,21 @@
+// Package cleanmod is the perfgate positive fixture: every contract
+// holds, in ways that are stable across compiler releases.
+package cleanmod
+
+// Add is trivially inlinable and allocation-free.
+//
+//perf:noalloc
+//perf:inline
+func Add(a, b int64) int64 {
+	return a + b
+}
+
+// Fill writes into caller-provided storage only.
+//
+//perf:hot
+//perf:noalloc
+func Fill(dst []int64, v int64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}

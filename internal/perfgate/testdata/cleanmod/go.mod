@@ -1,0 +1,3 @@
+module example.com/cleanmod
+
+go 1.21

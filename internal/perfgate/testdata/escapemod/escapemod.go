@@ -1,0 +1,39 @@
+// Package escapemod is the perfgate negative fixture: functions whose
+// //perf: contracts the compiler provably violates, in ways that are
+// stable across compiler releases (a store to a global always escapes;
+// a recursive function never inlines).
+package escapemod
+
+// Box is big enough to matter.
+type Box struct{ V [4]int64 }
+
+// Sink makes escapes observable to the escape analysis.
+var Sink *Box
+
+// Leak violates //perf:noalloc: the box flows to the global.
+//
+//perf:noalloc
+func Leak(v int64) {
+	b := &Box{}
+	b.V[0] = v
+	Sink = b
+}
+
+// Heavy violates //perf:inline: recursion is never inlinable.
+//
+//perf:inline
+func Heavy(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n + Heavy(n-1)
+}
+
+// Tolerated allocates knowingly: the escape carries a reasoned
+// suppression, so it is recorded but does not fail the gate.
+//
+//perf:noalloc
+func Tolerated() *Box {
+	//perf:ok escape setup-time constructor, runs once before the hot loop
+	return &Box{}
+}

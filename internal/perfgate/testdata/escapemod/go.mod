@@ -1,0 +1,3 @@
+module example.com/escapemod
+
+go 1.21

@@ -152,6 +152,11 @@ func BuildPaperWorld(cfg PaperConfig) (*World, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
+	// Seal the per-DC endpoint cache: Endpoint sits on the simulator's
+	// per-flow RTT path and must not render its ID string there.
+	for _, dc := range w.DataCenters {
+		dc.ep = dc.renderEndpoint()
+	}
 	return w, nil
 }
 

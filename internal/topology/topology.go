@@ -80,10 +80,31 @@ type DataCenter struct {
 	// Internal marks a data center deployed inside an ISP's own
 	// network (the EU2 case, Table II "Same AS").
 	Internal bool
+
+	// ep caches the value Endpoint returns. BuildPaperWorld seals it
+	// after assembly so the per-flow RTT path never re-renders the ID
+	// string; hand-assembled DCs (tests) fall back to rendering.
+	ep netmodel.Endpoint
 }
 
 // Endpoint returns the DC's network endpoint for latency computations.
+// It sits on the simulator's per-flow path, hence the cache.
+//
+//perf:inline
+//perf:noalloc
 func (dc *DataCenter) Endpoint() netmodel.Endpoint {
+	if dc.ep.ID == "" {
+		return dc.renderEndpoint()
+	}
+	return dc.ep
+}
+
+// renderEndpoint builds the endpoint value from scratch — the cold
+// path behind the Endpoint cache. Kept out of line so its Sprintf
+// never lands on Endpoint's inlining budget or allocation contract.
+//
+//go:noinline
+func (dc *DataCenter) renderEndpoint() netmodel.Endpoint {
 	return netmodel.Endpoint{
 		ID:     fmt.Sprintf("dc-%d-%s", dc.ID, dc.City.Name),
 		Loc:    dc.City.Point,

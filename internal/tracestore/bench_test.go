@@ -3,6 +3,7 @@ package tracestore
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -150,6 +151,13 @@ func TestBenchArtifact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Bracket the scan with memory accounting: Mallocs/TotalAlloc are
+	// monotonic, so the deltas are exact even if a GC cycle runs
+	// mid-scan. The zero-alloc decode path should keep both per-record
+	// rates near zero — the numbers regress visibly if it breaks.
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
 	sStart := time.Now()
 	it := r.Iter("bench")
 	scanned := 0
@@ -163,6 +171,7 @@ func TestBenchArtifact(t *testing.T) {
 		t.Fatalf("scan: %d records, err %v", scanned, it.Err())
 	}
 	scanSecs := time.Since(sStart).Seconds()
+	runtime.ReadMemStats(&ms1)
 
 	rep := report.New("tracestore-bench").
 		Set("records", strconv.Itoa(n)).
@@ -173,7 +182,9 @@ func TestBenchArtifact(t *testing.T) {
 		Add("store.write.records_per_sec", float64(n)/writeSecs, "events/sec").
 		Add("store.scan.bytes_per_sec", float64(disk)/scanSecs, "bytes/sec").
 		Add("store.scan.records_per_sec", float64(n)/scanSecs, "events/sec").
-		Add("store.scan.peak_buffered_bytes", float64(r.PeakBufferedBytes()), "bytes")
+		Add("store.scan.peak_buffered_bytes", float64(r.PeakBufferedBytes()), "bytes").
+		Add("store.scan.allocs_per_record", float64(ms1.Mallocs-ms0.Mallocs)/float64(n), "allocs/op").
+		Add("store.scan.alloc_bytes_per_record", float64(ms1.TotalAlloc-ms0.TotalAlloc)/float64(n), "bytes/op")
 	if err := rep.WriteFile(out); err != nil {
 		t.Fatal(err)
 	}

@@ -134,7 +134,9 @@ func (it *startIterator) openSegment(seg int) bool {
 		}
 		it.f = f
 	}
-	recs, fp, err := it.r.loadSegment(it.f, it.sh, seg)
+	// A fresh buffer per arm: arms coexist on the merge heap, so their
+	// record slices must not share backing arrays.
+	recs, fp, err := it.r.loadSegment(it.f, it.sh, seg, &decodeBuf{})
 	if err != nil {
 		it.finish(err)
 		return false

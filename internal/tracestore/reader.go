@@ -230,21 +230,24 @@ func (r *Reader) acquire(n int64) {
 // release returns decoded bytes to the gauge.
 func (r *Reader) release(n int64) { r.buffered.Add(-n) }
 
-// loadSegment reads, CRC-checks and decodes one segment.
-func (r *Reader) loadSegment(f *os.File, sh *rshard, i int) ([]capture.FlowRecord, int64, error) {
+// loadSegment reads, CRC-checks and decodes one segment into buf. The
+// returned records alias buf's arrays: callers that keep a segment
+// alive across loads (the start-ordered merge arms) must pass a fresh
+// buffer per call, while the sequential scan iterator reuses one for
+// its whole walk.
+func (r *Reader) loadSegment(f *os.File, sh *rshard, i int, buf *decodeBuf) ([]capture.FlowRecord, int64, error) {
 	m := sh.segs[i]
-	payload := make([]byte, m.payloadLen)
+	payload := buf.payloadSlot(int(m.payloadLen))
 	if _, err := f.ReadAt(payload, m.payloadOff); err != nil {
 		return nil, 0, fmt.Errorf("tracestore: %s segment %d: %w", sh.dataset, i, err)
 	}
 	if crc32.ChecksumIEEE(payload) != m.crc {
 		return nil, 0, fmt.Errorf("tracestore: %s segment %d: checksum mismatch", sh.dataset, i)
 	}
-	recs, err := decodeSegment(payload, int(m.count))
+	recs, fp, err := buf.decode(int(m.count))
 	if err != nil {
 		return nil, 0, fmt.Errorf("tracestore: %s segment %d: %w", sh.dataset, i, err)
 	}
-	fp := decodedFootprint(recs)
 	r.acquire(fp)
 	r.bytesRead.Add(int64(m.payloadLen))
 	r.segsDecoded.Add(1)
@@ -278,7 +281,12 @@ func (r *Reader) Iter(dataset string) capture.Iterator {
 	return &scanIterator{r: r, sh: sh}
 }
 
-// scanIterator walks a shard segment by segment.
+// scanIterator walks a shard segment by segment. It owns one decodeBuf
+// for its lifetime, so steady-state scanning recycles the payload,
+// record and dictionary arrays instead of reallocating them per
+// segment; the records handed out by Next are therefore valid only
+// until the iterator advances past their segment — which is exactly
+// the capture.Iterator contract (records are returned by value).
 type scanIterator struct {
 	r         *Reader
 	sh        *rshard
@@ -287,6 +295,7 @@ type scanIterator struct {
 	recs      []capture.FlowRecord
 	i         int
 	footprint int64
+	buf       decodeBuf
 	err       error
 	done      bool
 }
@@ -315,7 +324,7 @@ func (it *scanIterator) Next() (capture.FlowRecord, bool) {
 			}
 			it.f = f
 		}
-		recs, fp, err := it.r.loadSegment(it.f, it.sh, it.seg)
+		recs, fp, err := it.r.loadSegment(it.f, it.sh, it.seg, &it.buf)
 		if err != nil {
 			it.finish(err)
 			return capture.FlowRecord{}, false

@@ -140,169 +140,263 @@ func encodeSegment(recs []capture.FlowRecord) (header, payload []byte) {
 	return h.marshal(), buf
 }
 
-// payloadReader walks an encoded payload.
+// payloadReader walks an encoded payload. Errors are sticky: the
+// first malformed read records err and every later read returns a
+// zero value, so the column decode loops stay branch-light — and,
+// because all error construction happens inside these methods rather
+// than in the //perf:noalloc column decoders that call them,
+// allocation-free on well-formed input.
 type payloadReader struct {
 	buf []byte
 	pos int
+	err error
 }
 
-func (p *payloadReader) uvarint() (uint64, error) {
+// fail records the first error. This is the cold path: the fmt state
+// and boxed operands it allocates exist only on malformed input.
+func (p *payloadReader) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (p *payloadReader) uvarint() uint64 {
+	if p.err != nil {
+		return 0
+	}
 	v, n := binary.Uvarint(p.buf[p.pos:])
 	if n <= 0 {
-		return 0, fmt.Errorf("tracestore: malformed uvarint at offset %d", p.pos)
+		p.fail("tracestore: malformed uvarint at offset %d", p.pos)
+		return 0
 	}
 	p.pos += n
-	return v, nil
+	return v
 }
 
-func (p *payloadReader) varint() (int64, error) {
+func (p *payloadReader) varint() int64 {
+	if p.err != nil {
+		return 0
+	}
 	v, n := binary.Varint(p.buf[p.pos:])
 	if n <= 0 {
-		return 0, fmt.Errorf("tracestore: malformed varint at offset %d", p.pos)
+		p.fail("tracestore: malformed varint at offset %d", p.pos)
+		return 0
 	}
 	p.pos += n
-	return v, nil
+	return v
 }
 
-func (p *payloadReader) stringDict() ([]string, error) {
-	n, err := p.uvarint()
-	if err != nil {
-		return nil, err
+// dictID reads one dictionary index and range-checks it against n.
+func (p *payloadReader) dictID(n uint64) uint64 {
+	id := p.uvarint()
+	if p.err == nil && id >= n {
+		p.fail("tracestore: dictionary index %d out of range", id)
+		return 0
 	}
-	if n > uint64(len(p.buf)-p.pos) {
-		return nil, fmt.Errorf("tracestore: dictionary of %d entries exceeds payload", n)
-	}
-	out := make([]string, n)
-	for i := range out {
-		l, err := p.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if l > uint64(len(p.buf)-p.pos) {
-			return nil, fmt.Errorf("tracestore: dictionary string of %d bytes exceeds payload", l)
-		}
-		out[i] = string(p.buf[p.pos : p.pos+int(l)])
-		p.pos += int(l)
-	}
-	return out, nil
+	return id
 }
 
-// decodeSegment reconstructs the records of one segment. Records come
-// back in stored (start-sorted) order; dictionary strings are shared
-// across the records of the segment.
-func decodeSegment(payload []byte, count int) ([]capture.FlowRecord, error) {
+// decodeBuf owns the reusable state of one streaming decoder. A
+// scanIterator keeps one for its lifetime and decodes every segment
+// into it, so the steady-state scan path allocates nothing: the
+// payload buffer, record array and dictionaries recycle their backing
+// arrays, and dictionary strings are interned across segments (a
+// shard reuses a small vocabulary of video ids and resolutions over
+// and over). One-shot callers use a fresh zero value.
+type decodeBuf struct {
+	payload  []byte
+	recs     []capture.FlowRecord
+	srvDict  []ipnet.Addr
+	strDict  []string
+	interned map[string]string
+}
+
+// maxInterned bounds the intern table so an adversarial shard with an
+// unbounded string vocabulary degrades to per-segment allocation
+// instead of unbounded growth.
+const maxInterned = 1 << 17
+
+// payloadSlot returns a length-n buffer backed by recycled capacity.
+func (b *decodeBuf) payloadSlot(n int) []byte {
+	if cap(b.payload) < n {
+		b.payload = make([]byte, n)
+	}
+	b.payload = b.payload[:n]
+	return b.payload
+}
+
+// intern returns the canonical copy of raw, allocating only on first
+// sight. The map-index conversion does not allocate on the hit path.
+func (b *decodeBuf) intern(raw []byte) string {
+	if s, ok := b.interned[string(raw)]; ok {
+		return s
+	}
+	s := string(raw)
+	if len(b.interned) < maxInterned {
+		if b.interned == nil {
+			b.interned = make(map[string]string, 64)
+		}
+		b.interned[s] = s
+	}
+	return s
+}
+
+// decode reconstructs the records of b.payload. Records come back in
+// stored (start-sorted) order in a slice aliasing b.recs — valid until
+// the next decode on this buffer. The second result is the decoded
+// footprint for the buffering gauge: the record array plus the
+// dictionary string bytes (shared across records).
+func (b *decodeBuf) decode(count int) ([]capture.FlowRecord, int64, error) {
+	payload := b.payload
 	// The header is not covered by the payload CRC, so validate the
 	// count before allocating: every record contributes at least one
 	// byte to the start-delta column alone, so a count exceeding the
 	// payload length is provably a corrupted header — reject it
 	// instead of attempting a giant allocation.
 	if count < 0 || count > len(payload) {
-		return nil, fmt.Errorf("tracestore: segment count %d impossible for %d payload bytes", count, len(payload))
+		return nil, 0, fmt.Errorf("tracestore: segment count %d impossible for %d payload bytes", count, len(payload))
 	}
-	recs := make([]capture.FlowRecord, count)
+	if cap(b.recs) < count {
+		b.recs = make([]capture.FlowRecord, count)
+	}
+	recs := b.recs[:count]
 	if count == 0 {
-		return recs, nil
+		return recs, 0, nil
 	}
-	p := &payloadReader{buf: payload}
+	p := payloadReader{buf: payload}
 
-	first, err := p.varint()
-	if err != nil {
-		return nil, err
+	decodeFixedCols(&p, recs)
+
+	nsrv := p.uvarint()
+	if p.err == nil && nsrv > uint64(len(payload)) {
+		p.fail("tracestore: server dictionary of %d entries exceeds payload", nsrv)
 	}
-	recs[0].Start = time.Duration(first)
-	for i := 1; i < count; i++ {
-		d, err := p.uvarint()
-		if err != nil {
-			return nil, err
+	if p.err == nil {
+		if cap(b.srvDict) < int(nsrv) {
+			b.srvDict = make([]ipnet.Addr, nsrv)
 		}
-		recs[i].Start = recs[i-1].Start + time.Duration(d)
+		srv := b.srvDict[:nsrv]
+		for i := range srv {
+			srv[i] = ipnet.Addr(p.uvarint())
+		}
+		assignServers(&p, recs, srv)
 	}
-	for i := range recs {
-		d, err := p.varint()
-		if err != nil {
-			return nil, err
-		}
-		recs[i].End = recs[i].Start + time.Duration(d)
-	}
-	for i := range recs {
-		b, err := p.varint()
-		if err != nil {
-			return nil, err
-		}
-		recs[i].Bytes = b
-	}
-	for i := range recs {
-		c, err := p.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		recs[i].Client = ipnet.Addr(c)
-	}
-	nsrv, err := p.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if nsrv > uint64(len(payload)) {
-		return nil, fmt.Errorf("tracestore: server dictionary of %d entries exceeds payload", nsrv)
-	}
-	srvDict := make([]ipnet.Addr, nsrv)
-	for i := range srvDict {
-		a, err := p.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		srvDict[i] = ipnet.Addr(a)
-	}
-	for i := range recs {
-		id, err := p.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if id >= nsrv {
-			return nil, fmt.Errorf("tracestore: server dictionary index %d out of range", id)
-		}
-		recs[i].Server = srvDict[id]
-	}
-	for _, assign := range []func(i int, s string){
-		func(i int, s string) { recs[i].VideoID = s },
-		func(i int, s string) { recs[i].Resolution = s },
-	} {
-		d, err := p.stringDict()
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < count; i++ {
-			id, err := p.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			if id >= uint64(len(d)) {
-				return nil, fmt.Errorf("tracestore: string dictionary index %d out of range", id)
-			}
-			assign(i, d[id])
-		}
+
+	footprint := int64(count) * int64(flowRecordSize)
+	var strBytes int64
+	b.strDict, strBytes = b.stringDictInto(&p, b.strDict)
+	footprint += strBytes
+	assignStringCol(&p, recs, b.strDict, false)
+	b.strDict, strBytes = b.stringDictInto(&p, b.strDict)
+	footprint += strBytes
+	assignStringCol(&p, recs, b.strDict, true)
+
+	if p.err != nil {
+		return nil, 0, p.err
 	}
 	if p.pos != len(payload) {
-		return nil, fmt.Errorf("tracestore: %d trailing payload bytes", len(payload)-p.pos)
+		return nil, 0, fmt.Errorf("tracestore: %d trailing payload bytes", len(payload)-p.pos)
 	}
-	return recs, nil
+	return recs, footprint, nil
 }
 
-// decodedFootprint estimates the in-memory size of a decoded segment,
-// for the reader's buffering gauge: the record array plus the
-// dictionary string bytes (shared across records).
-func decodedFootprint(recs []capture.FlowRecord) int64 {
-	n := int64(len(recs)) * int64(flowRecordSize)
-	seen := make(map[string]struct{})
+// decodeFixedCols decodes the start/duration/bytes/client columns.
+//
+//perf:hot
+//perf:noalloc
+func decodeFixedCols(p *payloadReader, recs []capture.FlowRecord) {
+	recs[0].Start = time.Duration(p.varint())
+	for i := 1; i < len(recs); i++ {
+		recs[i].Start = recs[i-1].Start + time.Duration(p.uvarint())
+	}
 	for i := range recs {
-		for _, s := range []string{recs[i].VideoID, recs[i].Resolution} {
-			if _, ok := seen[s]; !ok {
-				seen[s] = struct{}{}
-				n += int64(len(s))
-			}
+		recs[i].End = recs[i].Start + time.Duration(p.varint())
+	}
+	for i := range recs {
+		recs[i].Bytes = p.varint()
+	}
+	for i := range recs {
+		recs[i].Client = ipnet.Addr(p.uvarint())
+	}
+}
+
+// assignServers decodes the server-id column against the dictionary.
+//
+//perf:hot
+//perf:noalloc
+func assignServers(p *payloadReader, recs []capture.FlowRecord, srv []ipnet.Addr) {
+	n := uint64(len(srv))
+	for i := range recs {
+		id := p.dictID(n)
+		if p.err != nil {
+			return
+		}
+		recs[i].Server = srv[id]
+	}
+}
+
+// stringDictInto decodes one string dictionary into dst's recycled
+// capacity, interning entries through b. It returns the (possibly
+// regrown) dictionary and the summed entry bytes for the footprint
+// gauge; on error it returns an empty dictionary.
+func (b *decodeBuf) stringDictInto(p *payloadReader, dst []string) ([]string, int64) {
+	n := p.uvarint()
+	if p.err == nil && n > uint64(len(p.buf)-p.pos) {
+		p.fail("tracestore: dictionary of %d entries exceeds payload", n)
+	}
+	if p.err != nil {
+		return dst[:0], 0
+	}
+	if cap(dst) < int(n) {
+		dst = make([]string, n)
+	}
+	dst = dst[:n]
+	var strBytes int64
+	for i := range dst {
+		l := p.uvarint()
+		if p.err != nil {
+			return dst[:0], 0
+		}
+		if l > uint64(len(p.buf)-p.pos) {
+			p.fail("tracestore: dictionary string of %d bytes exceeds payload", l)
+			return dst[:0], 0
+		}
+		dst[i] = b.intern(p.buf[p.pos : p.pos+int(l)])
+		p.pos += int(l)
+		strBytes += int64(l)
+	}
+	return dst, strBytes
+}
+
+// assignStringCol decodes one string-id column against the dictionary
+// into the VideoID (resolution=false) or Resolution column.
+//
+//perf:hot
+//perf:noalloc
+func assignStringCol(p *payloadReader, recs []capture.FlowRecord, d []string, resolution bool) {
+	n := uint64(len(d))
+	for i := range recs {
+		id := p.dictID(n)
+		if p.err != nil {
+			return
+		}
+		if resolution {
+			recs[i].Resolution = d[id]
+		} else {
+			recs[i].VideoID = d[id]
 		}
 	}
-	return n
+}
+
+// decodeSegment reconstructs the records of one segment through a
+// fresh one-shot buffer — the compatibility path for callers that keep
+// several decoded segments alive at once (the start-ordered merge
+// arms) or hand the records out (tests, fuzzing). Streaming callers
+// reuse a decodeBuf instead.
+func decodeSegment(payload []byte, count int) ([]capture.FlowRecord, error) {
+	b := decodeBuf{payload: payload}
+	recs, _, err := b.decode(count)
+	return recs, err
 }
 
 // flowRecordSize is the struct size used by the buffering gauge.
