@@ -15,10 +15,19 @@
 //
 //	go run ./cmd/ytcdn-lint ./...
 //
+// Standalone runs also include the interprocedural module analyzers
+// (detreach, lockorder, goleak), which build a whole-module call graph
+// and therefore cannot run under the per-package vet protocol. `-list`
+// names every analyzer; `-graph` dumps the call graph instead of
+// linting.
+//
 // Analyzers can be disabled individually (-detmap=false etc.), both
 // standalone and through `go vet -vettool=... -rngshare=false`.
 // Findings are suppressed line by line with `//lint:ok <analyzer>
 // <reason>`; the reason is mandatory.
+//
+// Exit codes, in every mode: 0 clean, 1 driver or load error, 2 at
+// least one unsuppressed finding.
 package main
 
 import (
@@ -42,8 +51,12 @@ func run(args []string) int {
 	for _, a := range lint.Analyzers() {
 		enabled[a.Name] = true
 	}
+	for _, a := range lint.ModuleAnalyzers() {
+		enabled[a.Name] = true
+	}
 	customOnly := false
 	jsonOut := false
+	graphOut := false
 
 	var cfgFile string
 	var patterns []string
@@ -54,10 +67,14 @@ func run(args []string) int {
 			return printFlags()
 		case arg == "-V=full" || arg == "-V":
 			return printVersion()
+		case arg == "-list":
+			return printList()
 		case arg == "-custom-only" || arg == "-custom-only=true":
 			customOnly = true
 		case arg == "-json" || arg == "-json=true":
 			jsonOut = true
+		case arg == "-graph" || arg == "-graph=true":
+			graphOut = true
 		case strings.HasPrefix(arg, "-"):
 			name, value, ok := parseToggle(arg)
 			if !ok || !setEnabled(enabled, name, value) {
@@ -78,18 +95,90 @@ func run(args []string) int {
 			analyzers = append(analyzers, a)
 		}
 	}
+	var moduleAnalyzers []*lint.ModuleAnalyzer
+	for _, a := range lint.ModuleAnalyzers() {
+		if enabled[a.Name] {
+			moduleAnalyzers = append(moduleAnalyzers, a)
+		}
+	}
 
 	if cfgFile != "" {
+		// Under the vet protocol only the per-package analyzers run;
+		// the module analyzers need the whole class hierarchy at once.
 		return lint.RunVetUnit(cfgFile, analyzers, os.Stderr, jsonOut)
 	}
 	if len(patterns) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ytcdn-lint [-json] [-custom-only] [-<analyzer>=false ...] <package patterns>")
+		fmt.Fprintln(os.Stderr, "usage: ytcdn-lint [-json] [-graph] [-list] [-custom-only] [-<analyzer>=false ...] <package patterns>")
 		return lint.ExitError
 	}
-	if jsonOut {
-		return standaloneJSON(patterns, analyzers)
+	if graphOut {
+		return dumpGraph(patterns)
 	}
-	return standalone(patterns, toggles, customOnly)
+	if jsonOut {
+		return standaloneJSON(patterns, analyzers, moduleAnalyzers)
+	}
+	return standalone(patterns, toggles, customOnly, moduleAnalyzers)
+}
+
+// dumpGraph loads the patterns, builds the whole-module call graph,
+// and writes the deterministic dump to stdout — the CI artifact that
+// lets a reviewer diff reachability across commits.
+func dumpGraph(patterns []string) int {
+	units, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ytcdn-lint: %v\n", err)
+		return lint.ExitError
+	}
+	var sb strings.Builder
+	lint.BuildGraph(units).Dump(&sb)
+	os.Stdout.WriteString(sb.String())
+	return lint.ExitClean
+}
+
+// printList names every analyzer in the suite with its version and a
+// one-line summary, module-level analyzers marked as such.
+func printList() int {
+	versions := lint.AnalyzerVersions()
+	line := func(name, doc, scope string) {
+		fmt.Printf("%-12s %-10s %-8s %s\n", name, versions[name], scope, firstSentence(doc))
+	}
+	for _, a := range lint.Analyzers() {
+		line(a.Name, a.Doc, "package")
+	}
+	for _, a := range lint.ModuleAnalyzers() {
+		line(a.Name, a.Doc, "module")
+	}
+	return lint.ExitClean
+}
+
+func firstSentence(doc string) string {
+	doc = strings.Join(strings.Fields(doc), " ")
+	if i := strings.Index(doc, "; "); i >= 0 {
+		return doc[:i]
+	}
+	return doc
+}
+
+// runModuleAnalyzers loads the patterns once and runs the
+// interprocedural suite, printing findings in the vet format. It
+// returns the findings count, or -1 on a load failure.
+func runModuleAnalyzers(patterns []string, analyzers []*lint.ModuleAnalyzer) int {
+	if len(analyzers) == 0 {
+		return 0
+	}
+	units, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ytcdn-lint: %v\n", err)
+		return -1
+	}
+	if len(units) == 0 {
+		return 0
+	}
+	kept, _ := lint.RunModuleAll(units, analyzers)
+	for _, d := range kept {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", units[0].Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return len(kept)
 }
 
 // standaloneJSON runs the custom suite in-process over the patterns
@@ -97,7 +186,7 @@ func run(args []string) int {
 // array on stdout. The standard go vet analyzers are skipped in this
 // mode: the machine-readable contract covers the custom suite, and a
 // consumer wanting vet's own findings runs `go vet -json` alongside.
-func standaloneJSON(patterns []string, analyzers []*lint.Analyzer) int {
+func standaloneJSON(patterns []string, analyzers []*lint.Analyzer, moduleAnalyzers []*lint.ModuleAnalyzer) int {
 	units, err := lint.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ytcdn-lint: %v\n", err)
@@ -109,6 +198,11 @@ func standaloneJSON(patterns []string, analyzers []*lint.Analyzer) int {
 		kept, silenced := lint.RunAll(u.Fset, u.Files, u.Pkg, u.Info, analyzers)
 		failing += len(kept)
 		findings = append(findings, lint.FindingsJSON(u.Fset, kept, silenced)...)
+	}
+	if len(units) > 0 && len(moduleAnalyzers) > 0 {
+		kept, silenced := lint.RunModuleAll(units, moduleAnalyzers)
+		failing += len(kept)
+		findings = append(findings, lint.FindingsJSON(units[0].Fset, kept, silenced)...)
 	}
 	data, err := json.MarshalIndent(findings, "", "\t")
 	if err != nil {
@@ -123,10 +217,12 @@ func standaloneJSON(patterns []string, analyzers []*lint.Analyzer) int {
 	return lint.ExitClean
 }
 
-// standalone drives the vet front end twice: once bare for the
+// standalone drives the vet front end twice — once bare for the
 // standard analyzers, once with this binary as the vettool for the
-// custom suite.
-func standalone(patterns, toggles []string, customOnly bool) int {
+// per-package custom suite — then runs the module analyzers in
+// process (they need the whole module, which the per-unit vet
+// protocol never supplies).
+func standalone(patterns, toggles []string, customOnly bool, moduleAnalyzers []*lint.ModuleAnalyzer) int {
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ytcdn-lint: %v\n", err)
@@ -140,6 +236,16 @@ func standalone(patterns, toggles []string, customOnly bool) int {
 	}
 	if code := runGoVet(toggles, self, patterns); code != 0 && exit == 0 {
 		exit = code
+	}
+	switch n := runModuleAnalyzers(patterns, moduleAnalyzers); {
+	case n < 0:
+		if exit == 0 {
+			exit = lint.ExitError
+		}
+	case n > 0:
+		if exit == 0 {
+			exit = lint.ExitDiagnostics
+		}
 	}
 	return exit
 }
@@ -199,6 +305,11 @@ func printFlags() int {
 	flags := []jsonFlag{}
 	for _, a := range lint.Analyzers() {
 		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: "enable the " + a.Name + " analyzer (default true): " + a.Doc})
+	}
+	// Module analyzers don't run under the vet protocol, but accepting
+	// their toggles keeps one flag set valid in every mode.
+	for _, a := range lint.ModuleAnalyzers() {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: "enable the " + a.Name + " module analyzer in standalone modes (default true): " + a.Doc})
 	}
 	// Declaring json here lets `go vet -vettool=... -json` forward the
 	// flag to the per-unit invocations (JSONL on stderr).

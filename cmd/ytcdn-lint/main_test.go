@@ -2,10 +2,52 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 )
+
+var (
+	lintBinOnce sync.Once
+	lintBinPath string
+	lintBinErr  string
+)
+
+// buildLint builds the ytcdn-lint binary once per test run and hands
+// every test the same path — the CLI tests exercise modes, not builds.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	lintBinOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "ytcdn-lint-test")
+		if err != nil {
+			lintBinErr = err.Error()
+			return
+		}
+		bin := filepath.Join(dir, "ytcdn-lint")
+		if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+			lintBinErr = err.Error() + "\n" + string(out)
+			return
+		}
+		lintBinPath = bin
+	})
+	if lintBinErr != "" {
+		t.Fatalf("building ytcdn-lint: %s", lintBinErr)
+	}
+	return lintBinPath
+}
+
+// fixtureDir resolves a module fixture under internal/lint/testdata.
+func fixtureDir(t *testing.T, name string) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
 
 // TestJSONOutput pins the -json contract end to end: build the binary,
 // run it over the hotalloc fixture module, and parse the output. The
@@ -13,15 +55,8 @@ import (
 // message) and the suppressed inventory (with the directive reason),
 // and the process must exit 2 — findings — not 1 — tool failure.
 func TestJSONOutput(t *testing.T) {
-	bin := filepath.Join(t.TempDir(), "ytcdn-lint")
-	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
-		t.Fatalf("building ytcdn-lint: %v\n%s", err, out)
-	}
-
-	fixture, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", "hotalloc"))
-	if err != nil {
-		t.Fatal(err)
-	}
+	bin := buildLint(t)
+	fixture := fixtureDir(t, "hotalloc")
 	cmd := exec.Command(bin, "-json", "./flagged", "./suppressed")
 	cmd.Dir = fixture
 	out, err := cmd.Output()
@@ -68,5 +103,122 @@ func TestJSONOutput(t *testing.T) {
 	}
 	if suppressed == 0 {
 		t.Error("no suppressed findings from the suppressed fixture package")
+	}
+}
+
+// TestListOutput pins the -list contract: every analyzer in the suite
+// appears with its pinned version and scope, and the process exits 0.
+func TestListOutput(t *testing.T) {
+	bin := buildLint(t)
+	out, err := exec.Command(bin, "-list").Output()
+	if err != nil {
+		t.Fatalf("ytcdn-lint -list: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, name := range []string{
+		"detmap", "rngpurity", "rngshare", "lockguard", "obsplane",
+		"hotalloc", "atomicmix", "detreach", "lockorder", "goleak",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, text)
+		}
+	}
+	for _, want := range []string{"detreach/v1", "module", "package"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("-list output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestGraphDump pins the -graph mode: a deterministic whole-module
+// call-graph dump on stdout, exit 0, no lint findings.
+func TestGraphDump(t *testing.T) {
+	bin := buildLint(t)
+	cmd := exec.Command(bin, "-graph", "./...")
+	cmd.Dir = fixtureDir(t, "goleak")
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("ytcdn-lint -graph: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.HasPrefix(text, "ytcdn callgraph v1:") {
+		t.Errorf("-graph output missing header:\n%.200s", text)
+	}
+	if !strings.Contains(text, "(*example.com/goleakfix.worker).Start") {
+		t.Errorf("-graph output missing fixture node:\n%s", text)
+	}
+	if !strings.Contains(text, "go (*example.com/goleakfix.worker).run") {
+		t.Errorf("-graph output missing go-kind edge:\n%s", text)
+	}
+}
+
+// TestModuleAnalyzerJSON runs -json over the lockorder fixture: the
+// module analyzer's findings must appear in the same array as the
+// per-package suite's, versioned, with the suppressed inventory, and
+// the process must exit 2.
+func TestModuleAnalyzerJSON(t *testing.T) {
+	bin := buildLint(t)
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = fixtureDir(t, "lockorder")
+	out, err := cmd.Output()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit code 2 (findings), got err %v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("want exit code 2 (findings), got %d\nstderr: %s", code, ee.Stderr)
+	}
+	var findings []struct {
+		Analyzer        string `json:"analyzer"`
+		AnalyzerVersion string `json:"analyzer_version"`
+		Message         string `json:"message"`
+		Suppressed      bool   `json:"suppressed"`
+		SuppressReason  string `json:"suppress_reason"`
+	}
+	if err := json.Unmarshal(out, &findings); err != nil {
+		t.Fatalf("parsing -json output: %v\n%s", err, out)
+	}
+	var live, suppressed int
+	for _, f := range findings {
+		if f.Analyzer != "lockorder" {
+			continue
+		}
+		if f.AnalyzerVersion != "lockorder/v1" {
+			t.Errorf("finding with analyzer_version %q, want lockorder/v1", f.AnalyzerVersion)
+		}
+		if f.Suppressed {
+			suppressed++
+			if f.SuppressReason == "" {
+				t.Errorf("suppressed lockorder finding without a reason: %+v", f)
+			}
+		} else {
+			live++
+		}
+	}
+	if live == 0 {
+		t.Error("no live lockorder findings from the fixture")
+	}
+	if suppressed == 0 {
+		t.Error("no suppressed lockorder findings from the fixture")
+	}
+}
+
+// TestModuleAnalyzerStandalone runs the plain standalone mode over the
+// goleak fixture: the module analyzer must run after the vet passes,
+// print in the vet format, and drive the exit code to 2.
+func TestModuleAnalyzerStandalone(t *testing.T) {
+	bin := buildLint(t)
+	cmd := exec.Command(bin, "-custom-only", "./...")
+	cmd.Dir = fixtureDir(t, "goleak")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit code 2 (findings), got err %v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("want exit code 2 (findings), got %d\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "[goleak] goroutine has no join evidence") {
+		t.Errorf("standalone output missing goleak finding:\n%s", out)
 	}
 }

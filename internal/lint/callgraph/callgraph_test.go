@@ -1,0 +1,145 @@
+package callgraph_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/ytcdn-sim/ytcdn/internal/lint"
+	"github.com/ytcdn-sim/ytcdn/internal/lint/callgraph"
+)
+
+// buildFixture loads the shapes fixture module and builds its graph.
+func buildFixture(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	units, err := lint.Load(filepath.Join("..", "testdata", "callgraph"), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.BuildGraph(units)
+}
+
+// node finds the unique graph node whose name ends in suffix.
+func node(t *testing.T, g *callgraph.Graph, suffix string) *callgraph.Node {
+	t.Helper()
+	var found *callgraph.Node
+	for _, n := range g.Nodes() {
+		if strings.HasSuffix(n.Name, suffix) {
+			if found != nil {
+				t.Fatalf("node suffix %q is ambiguous: %s and %s", suffix, found.Name, n.Name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node with suffix %q", suffix)
+	}
+	return found
+}
+
+// edgeTo reports whether from has an edge of kind to the node named by
+// suffix.
+func edgeTo(from *callgraph.Node, suffix string, kind callgraph.EdgeKind) bool {
+	for _, e := range from.Calls {
+		if e.Kind == kind && strings.HasSuffix(e.Callee.Name, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestInterfaceDispatchFansOutCHA(t *testing.T) {
+	g := buildFixture(t)
+	dispatch := node(t, g, "callgraphfix.Dispatch")
+	if !edgeTo(dispatch, "(example.com/callgraphfix.A).Pick", callgraph.Dynamic) {
+		t.Errorf("Dispatch missing dynamic edge to A.Pick; edges: %v", edgeNames(dispatch))
+	}
+	if !edgeTo(dispatch, "(*example.com/callgraphfix.B).Pick", callgraph.Dynamic) {
+		t.Errorf("Dispatch missing dynamic edge to (*B).Pick; edges: %v", edgeNames(dispatch))
+	}
+}
+
+func TestMethodValueToWorkerPool(t *testing.T) {
+	g := buildFixture(t)
+	step := node(t, g, "(*example.com/callgraphfix.Worker).Step")
+	if !step.AddressTaken {
+		t.Error("(*Worker).Step passed as a method value should be address-taken")
+	}
+	do := node(t, g, "(example.com/callgraphfix.Pool).Do")
+	if !edgeTo(do, "(*example.com/callgraphfix.Worker).Step", callgraph.Dynamic) {
+		t.Errorf("Pool.Do missing dynamic edge to the pooled method value; edges: %v", edgeNames(do))
+	}
+}
+
+func TestFuncTypedFieldCall(t *testing.T) {
+	g := buildFixture(t)
+	cand := node(t, g, "callgraphfix.candidate")
+	if !cand.AddressTaken {
+		t.Error("candidate assigned to a struct field should be address-taken")
+	}
+	invoke := node(t, g, "(example.com/callgraphfix.Handler).Invoke")
+	if !edgeTo(invoke, "callgraphfix.candidate", callgraph.Dynamic) {
+		t.Errorf("Invoke missing dynamic edge to candidate; edges: %v", edgeNames(invoke))
+	}
+}
+
+func TestDeferAndGoEdgeKinds(t *testing.T) {
+	g := buildFixture(t)
+	lc := node(t, g, "callgraphfix.Lifecycle")
+	if !edgeTo(lc, "callgraphfix.finishing", callgraph.Defer) {
+		t.Errorf("Lifecycle missing defer edge to finishing; edges: %v", edgeNames(lc))
+	}
+	if !edgeTo(lc, "callgraphfix.spinning", callgraph.Go) {
+		t.Errorf("Lifecycle missing go edge to spinning; edges: %v", edgeNames(lc))
+	}
+}
+
+func TestReachabilityAndPath(t *testing.T) {
+	g := buildFixture(t)
+	drive := node(t, g, "callgraphfix.Drive")
+	step := node(t, g, "(*example.com/callgraphfix.Worker).Step")
+	parents := g.ReachableFrom([]*callgraph.Node{drive})
+	if _, ok := parents[step]; !ok {
+		t.Fatal("Step should be reachable from Drive through the pooled method value")
+	}
+	path := callgraph.PathFrom(parents, step)
+	if len(path) != 3 || path[0] != drive || path[2] != step {
+		t.Errorf("unexpected path: %v", nodeNames(path))
+	}
+}
+
+func TestDumpIsDeterministic(t *testing.T) {
+	g := buildFixture(t)
+	var a, b strings.Builder
+	g.Dump(&a)
+	g.Dump(&b)
+	if a.String() != b.String() {
+		t.Error("two dumps of the same graph differ")
+	}
+	if !strings.HasPrefix(a.String(), "ytcdn callgraph v1: ") {
+		t.Errorf("dump header missing: %q", firstLine(a.String()))
+	}
+}
+
+func edgeNames(n *callgraph.Node) []string {
+	var out []string
+	for _, e := range n.Calls {
+		out = append(out, e.Kind.String()+" "+e.Callee.Name)
+	}
+	return out
+}
+
+func nodeNames(nodes []*callgraph.Node) []string {
+	var out []string
+	for _, n := range nodes {
+		out = append(out, n.Name)
+	}
+	return out
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockFlow is a small abstract interpreter over one function body for
+// the lockorder unlock-on-all-paths check. The abstract state is a set
+// of locksets: each lockset is one possible combination of mutexes
+// held (acquired non-deferred, not yet released) at a program point.
+// Branches union their outgoing states, loops contribute their
+// zero-iteration and one-iteration states plus collected break states,
+// and every return statement (plus the implicit return at the end of
+// the body) snapshots the current states as exits. goto and label-
+// targeted branches abort the analysis for the function — dropping to
+// silence rather than guessing keeps the check free of control-flow
+// false positives.
+type lockFlow struct {
+	info *types.Info
+	// deferredUnlock marks mutexes with a `defer x.Unlock()` anywhere in
+	// the function; they are considered released on every exit.
+	deferredUnlock lockSet
+	// lockSite records the first non-deferred acquisition site per
+	// mutex, where findings are reported.
+	lockSite map[*types.Var]token.Pos
+	exits    []lockSet
+	// breaks collects states reaching a break, per enclosing
+	// breakable statement (loop, switch, select).
+	breaks [][]lockSet
+	bailed bool
+}
+
+// maxLockStates bounds the state-set size; functions whose branching
+// exceeds it are skipped (bailed) instead of analyzed partially.
+const maxLockStates = 64
+
+func newLockFlow(info *types.Info, body ast.Node) *lockFlow {
+	f := &lockFlow{
+		info:           info,
+		deferredUnlock: lockSet{},
+		lockSite:       make(map[*types.Var]token.Pos),
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		d, ok := x.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if v, op := lockVarOf(info, d.Call); v != nil && (op == "Unlock" || op == "RUnlock") {
+			f.deferredUnlock[v] = true
+		}
+		return true
+	})
+	return f
+}
+
+// run interprets body and returns the exit states; ok is false when
+// the function was too complex to analyze.
+func (f *lockFlow) run(body *ast.BlockStmt) ([]lockSet, bool) {
+	out := f.stmts(body.List, []lockSet{{}})
+	if f.bailed {
+		return nil, false
+	}
+	f.exits = append(f.exits, out...) // implicit return
+	return f.exits, true
+}
+
+func (f *lockFlow) stmts(list []ast.Stmt, in []lockSet) []lockSet {
+	for _, s := range list {
+		if f.bailed {
+			return nil
+		}
+		in = f.stmt(s, in)
+	}
+	return in
+}
+
+func (f *lockFlow) stmt(s ast.Stmt, in []lockSet) []lockSet {
+	if f.bailed {
+		return nil
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return f.stmts(s.List, in)
+
+	case *ast.ExprStmt:
+		return f.exprStmt(s, in)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			in = f.stmt(s.Init, in)
+		}
+		then := f.stmts(s.Body.List, in)
+		els := in
+		if s.Else != nil {
+			els = f.stmt(s.Else, in)
+		}
+		return f.union(then, els)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			in = f.stmt(s.Init, in)
+		}
+		f.pushBreaks()
+		once := f.stmts(s.Body.List, in)
+		brk := f.popBreaks()
+		if s.Cond == nil {
+			// `for {}`: the only ways past the loop are break states.
+			return f.union(brk, nil)
+		}
+		return f.union(f.union(in, once), brk)
+
+	case *ast.RangeStmt:
+		f.pushBreaks()
+		once := f.stmts(s.Body.List, in)
+		brk := f.popBreaks()
+		return f.union(f.union(in, once), brk)
+
+	case *ast.SwitchStmt:
+		return f.switchLike(s.Init, s.Body, in, hasDefaultClause(s.Body))
+
+	case *ast.TypeSwitchStmt:
+		return f.switchLike(s.Init, s.Body, in, hasDefaultClause(s.Body))
+
+	case *ast.SelectStmt:
+		// A select with no default blocks until a clause fires, so the
+		// incoming state does not flow around it.
+		return f.switchLike(nil, s.Body, in, hasDefaultClause(s.Body))
+
+	case *ast.ReturnStmt:
+		f.exits = append(f.exits, in...)
+		return nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				f.bailed = true
+				return nil
+			}
+			if n := len(f.breaks); n > 0 {
+				f.breaks[n-1] = append(f.breaks[n-1], in...)
+			}
+			return nil
+		case token.CONTINUE:
+			return nil // back edge; the body union already covers it
+		case token.GOTO:
+			f.bailed = true
+			return nil
+		case token.FALLTHROUGH:
+			return in
+		}
+		return in
+
+	case *ast.LabeledStmt:
+		return f.stmt(s.Stmt, in)
+
+	case *ast.DeferStmt, *ast.GoStmt:
+		return in // handled by the defer pre-pass / out of scope
+
+	default:
+		return in
+	}
+}
+
+// exprStmt applies a lock operation or terminates the path on panic.
+func (f *lockFlow) exprStmt(s *ast.ExprStmt, in []lockSet) []lockSet {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		return in
+	}
+	if id, ok := unparenExpr(call.Fun).(*ast.Ident); ok {
+		if b, ok := f.info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return nil // deferred unlocks run during panic unwinding
+		}
+	}
+	v, op := lockVarOf(f.info, call)
+	if v == nil {
+		return in
+	}
+	switch op {
+	case "Lock", "RLock":
+		if _, seen := f.lockSite[v]; !seen {
+			f.lockSite[v] = call.Pos()
+		}
+		return f.mapStates(in, func(s lockSet) { s[v] = true })
+	case "Unlock", "RUnlock":
+		return f.mapStates(in, func(s lockSet) { delete(s, v) })
+	}
+	return in
+}
+
+// switchLike unions the clause bodies of a switch/type-switch/select;
+// without a default clause the incoming states pass around it too
+// (for select that would be wrong, so the caller decides).
+func (f *lockFlow) switchLike(init ast.Stmt, body *ast.BlockStmt, in []lockSet, hasDefault bool) []lockSet {
+	if init != nil {
+		in = f.stmt(init, in)
+	}
+	f.pushBreaks()
+	var out []lockSet
+	for _, clause := range body.List {
+		var list []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			list = c.Body
+		case *ast.CommClause:
+			list = c.Body
+		}
+		out = f.union(out, f.stmts(list, in))
+	}
+	brk := f.popBreaks()
+	out = f.union(out, brk)
+	if !hasDefault {
+		out = f.union(out, in)
+	}
+	return out
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				return true
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (f *lockFlow) pushBreaks() { f.breaks = append(f.breaks, nil) }
+
+func (f *lockFlow) popBreaks() []lockSet {
+	n := len(f.breaks)
+	out := f.breaks[n-1]
+	f.breaks = f.breaks[:n-1]
+	return out
+}
+
+// mapStates applies fn to a copy of every state.
+func (f *lockFlow) mapStates(in []lockSet, fn func(lockSet)) []lockSet {
+	out := make([]lockSet, len(in))
+	for i, s := range in {
+		c := make(lockSet, len(s))
+		for v := range s {
+			c[v] = true
+		}
+		fn(c)
+		out[i] = c
+	}
+	return out
+}
+
+// union concatenates two state sets, dedupes them, and enforces the
+// size bound.
+func (f *lockFlow) union(a, b []lockSet) []lockSet {
+	merged := append(append([]lockSet{}, a...), b...)
+	seen := make(map[string]bool, len(merged))
+	out := merged[:0]
+	for _, s := range merged {
+		k := stateKey(s)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, s)
+	}
+	if len(out) > maxLockStates {
+		f.bailed = true
+		return nil
+	}
+	return out
+}
+
+func stateKey(s lockSet) string {
+	keys := make([]string, 0, len(s))
+	for v := range s {
+		keys = append(keys, fmt.Sprint(int(v.Pos())))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}

@@ -27,73 +27,77 @@ func runDetMap(pass *Pass) {
 			continue
 		}
 		for _, fd := range enclosingFuncs(f) {
-			checkFuncMapRanges(pass, fd)
+			forEachMapRangeIssue(pass.Info, fd, pass.Reportf)
 		}
 	}
 }
 
-func checkFuncMapRanges(pass *Pass, fd *ast.FuncDecl) {
+// forEachMapRangeIssue runs the order-sensitivity checks over every
+// map-range in fd, emitting findings through report. It is shared by
+// detmap (per package, every function) and detreach (whole module,
+// functions reachable from the deterministic plane).
+func forEachMapRangeIssue(info *types.Info, fd *ast.FuncDecl, report func(token.Pos, string, ...any)) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		rs, ok := n.(*ast.RangeStmt)
 		if !ok {
 			return true
 		}
-		t := pass.Info.TypeOf(rs.X)
+		t := info.TypeOf(rs.X)
 		if t == nil {
 			return true
 		}
 		if _, isMap := t.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		checkMapRangeBody(pass, fd, rs)
+		checkMapRangeBody(info, fd, rs, report)
 		return true
 	})
 }
 
-func checkMapRangeBody(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+func checkMapRangeBody(info *types.Info, fd *ast.FuncDecl, rs *ast.RangeStmt, report func(token.Pos, string, ...any)) {
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
-			checkMapRangeAssign(pass, fd, rs, n)
+			checkMapRangeAssign(info, fd, rs, n, report)
 		case *ast.CallExpr:
-			if name, recv := methodName(pass.Info, n); name == "Record" && recv != nil && typeFromPkg(recv, "internal/capture") {
-				pass.Reportf(n.Pos(), "capture-sink write inside range over map: emission order becomes nondeterministic; iterate keys in sorted order")
+			if name, recv := methodName(info, n); name == "Record" && recv != nil && typeFromPkg(recv, "internal/capture") {
+				report(n.Pos(), "capture-sink write inside range over map: emission order becomes nondeterministic; iterate keys in sorted order")
 			}
 		}
 		return true
 	})
 }
 
-func checkMapRangeAssign(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt) {
+func checkMapRangeAssign(info *types.Info, fd *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt, report func(token.Pos, string, ...any)) {
 	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
 		return
 	}
 	lhs, rhs := as.Lhs[0], as.Rhs[0]
-	if !outerTarget(pass, rs, lhs) {
+	if !outerTarget(info, rs, lhs) {
 		return
 	}
 	target := types.ExprString(lhs)
 
 	// x = append(x, ...) with no later sort of x in this function.
 	if as.Tok == token.ASSIGN {
-		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) &&
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(info, call) &&
 			len(call.Args) > 0 && types.ExprString(call.Args[0]) == target {
-			if !sortedAfter(pass, fd, rs, target) {
-				pass.Reportf(as.Pos(), "append to %s under range over map without a later sort in this function: element order is nondeterministic; sort the result or iterate keys in sorted order", target)
+			if !sortedAfter(fd, rs, target) {
+				report(as.Pos(), "append to %s under range over map without a later sort in this function: element order is nondeterministic; sort the result or iterate keys in sorted order", target)
 			}
 			return
 		}
 	}
 
 	// Float accumulation: x += v, x -= v, or x = x + v.
-	if isFloat(pass.Info.TypeOf(lhs)) {
+	if isFloat(info.TypeOf(lhs)) {
 		switch as.Tok {
 		case token.ADD_ASSIGN, token.SUB_ASSIGN:
-			pass.Reportf(as.Pos(), "float accumulation into %s in map iteration order: addition is not associative, so the result depends on the random order; accumulate over sorted keys", target)
+			report(as.Pos(), "float accumulation into %s in map iteration order: addition is not associative, so the result depends on the random order; accumulate over sorted keys", target)
 		case token.ASSIGN:
 			if be, ok := rhs.(*ast.BinaryExpr); ok && (be.Op == token.ADD || be.Op == token.SUB) &&
 				types.ExprString(be.X) == target {
-				pass.Reportf(as.Pos(), "float accumulation into %s in map iteration order: addition is not associative, so the result depends on the random order; accumulate over sorted keys", target)
+				report(as.Pos(), "float accumulation into %s in map iteration order: addition is not associative, so the result depends on the random order; accumulate over sorted keys", target)
 			}
 		}
 	}
@@ -104,10 +108,10 @@ func checkMapRangeAssign(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, as *as
 // declared before the loop. Loop-local accumulators reset every
 // iteration and carry no cross-iteration order; keyed writes (m2[k] =
 // ...) are order-independent.
-func outerTarget(pass *Pass, rs *ast.RangeStmt, lhs ast.Expr) bool {
+func outerTarget(info *types.Info, rs *ast.RangeStmt, lhs ast.Expr) bool {
 	switch lhs := lhs.(type) {
 	case *ast.Ident:
-		obj := objectOf(pass.Info, lhs)
+		obj := objectOf(info, lhs)
 		return obj != nil && !(obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End())
 	case *ast.SelectorExpr:
 		// Walk to the root of the chain: s.field is loop-local when s
@@ -123,7 +127,7 @@ func outerTarget(pass *Pass, rs *ast.RangeStmt, lhs ast.Expr) bool {
 				root = r.X
 				continue
 			case *ast.Ident:
-				obj := objectOf(pass.Info, r)
+				obj := objectOf(info, r)
 				return obj == nil || !(obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End())
 			}
 			return true
@@ -132,12 +136,12 @@ func outerTarget(pass *Pass, rs *ast.RangeStmt, lhs ast.Expr) bool {
 	return false
 }
 
-func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
 	id, ok := call.Fun.(*ast.Ident)
 	if !ok {
 		return false
 	}
-	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	b, ok := info.Uses[id].(*types.Builtin)
 	return ok && b.Name() == "append"
 }
 
@@ -160,7 +164,7 @@ var sortNames = map[string]bool{
 // sortedAfter reports whether, after the range statement, the function
 // passes target to a sort.* or slices.Sort* call (or target itself
 // receives a .Sort() style method call).
-func sortedAfter(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, target string) bool {
+func sortedAfter(fd *ast.FuncDecl, rs *ast.RangeStmt, target string) bool {
 	found := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if found {

@@ -39,8 +39,31 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
+	// Version is bumped on any behavior change, so -json artifacts are
+	// diffable across analyzer revisions. The zero value renders as 1.
+	Version int
 	// Run inspects the package and reports findings through the pass.
 	Run func(*Pass)
+}
+
+// AnalyzerVersions maps every registered analyzer (package-level and
+// module-level) to its "name/vN" version tag, the value the -json
+// analyzer_version field carries.
+func AnalyzerVersions() map[string]string {
+	out := make(map[string]string)
+	tag := func(name string, v int) {
+		if v == 0 {
+			v = 1
+		}
+		out[name] = fmt.Sprintf("%s/v%d", name, v)
+	}
+	for _, a := range Analyzers() {
+		tag(a.Name, a.Version)
+	}
+	for _, a := range ModuleAnalyzers() {
+		tag(a.Name, a.Version)
+	}
+	return out
 }
 
 // Pass carries one package's parsed and type-checked source to an
@@ -150,11 +173,19 @@ func RunAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *ty
 		diags = append(diags, pass.diags...)
 	}
 
-	sups := collectSuppressions(fset, files)
 	running := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		running[a.Name] = true
 	}
+	return finishRun(fset, files, running, diags)
+}
+
+// finishRun applies the suppression protocol shared by the per-package
+// and module paths: report reasonless directives naming a running
+// analyzer, silence findings covered by reasoned directives, and sort
+// both lists by position.
+func finishRun(fset *token.FileSet, files []*ast.File, running map[string]bool, diags []Diagnostic) ([]Diagnostic, []SuppressedDiagnostic) {
+	sups := collectSuppressions(fset, files)
 	for _, s := range sups {
 		if running[s.analyzer] && s.reason == "" {
 			diags = append(diags, Diagnostic{

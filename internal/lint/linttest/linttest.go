@@ -49,6 +49,47 @@ func Run(t *testing.T, dir string, a *lint.Analyzer, patterns ...string) {
 	}
 }
 
+// RunModule is Run for a module analyzer: the fixture module is loaded
+// whole, analyzed once (the call graph sees every package), and the
+// diagnostics are diffed against the // want expectations of all
+// loaded files together.
+func RunModule(t *testing.T, dir string, a *lint.ModuleAnalyzer, patterns ...string) {
+	t.Helper()
+	units, err := lint.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixture %s %v: %v", dir, patterns, err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("fixture %s %v matched no packages", dir, patterns)
+	}
+	var wants []*expectation
+	for _, u := range units {
+		for _, f := range u.Files {
+			wants = append(wants, fileWants(u, f)...)
+		}
+	}
+	fset := units[0].Fset
+	diags, _ := lint.RunModuleAll(units, []*lint.ModuleAnalyzer{a})
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
 func checkUnit(t *testing.T, u *lint.Unit, a *lint.Analyzer) {
 	t.Helper()
 	var wants []*expectation

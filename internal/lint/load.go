@@ -57,7 +57,7 @@ func Load(dir string, patterns ...string) ([]*Unit, error) {
 	}
 
 	exportFile := make(map[string]string)
-	var targets []listPkg
+	var ordered []listPkg
 	dec := json.NewDecoder(&stdout)
 	for {
 		var p listPkg
@@ -72,13 +72,11 @@ func Load(dir string, patterns ...string) ([]*Unit, error) {
 		if p.Export != "" {
 			exportFile[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard && p.Module != nil {
-			targets = append(targets, p)
-		}
+		ordered = append(ordered, p)
 	}
 
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, ok := exportFile[path]
 		if !ok {
 			return nil, fmt.Errorf("lint: no export data for %q", path)
@@ -86,15 +84,47 @@ func Load(dir string, patterns ...string) ([]*Unit, error) {
 		return os.Open(file)
 	})
 
+	// Every module package is type-checked from source in ONE shared
+	// universe — dependencies first (`go list -deps` emits them in
+	// dependency order), with the importer preferring the source-checked
+	// package over its export data. This is what makes object identity
+	// hold across package boundaries: the module analyzers match
+	// *types.Func and *types.Var objects through the call graph, and a
+	// package imported as export data would be a parallel universe whose
+	// objects never compare equal, silently truncating reachability at
+	// every package edge. Only out-of-module dependencies come from
+	// export data.
+	imp := &moduleImporter{base: gc, src: make(map[string]*types.Package)}
 	var units []*Unit
-	for _, p := range targets {
+	for _, p := range ordered {
+		if p.Standard || p.Module == nil {
+			continue
+		}
 		u, err := checkPackage(fset, imp, p.ImportPath, p.Dir, p.GoFiles, "")
 		if err != nil {
 			return nil, err
 		}
-		units = append(units, u)
+		imp.src[p.ImportPath] = u.Pkg
+		if !p.DepOnly {
+			units = append(units, u)
+		}
 	}
 	return units, nil
+}
+
+// moduleImporter resolves module-internal imports to their
+// source-checked packages and everything else through the gc export
+// importer.
+type moduleImporter struct {
+	base types.Importer
+	src  map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p := m.src[path]; p != nil {
+		return p, nil
+	}
+	return m.base.Import(path)
 }
 
 // checkPackage parses and type-checks one package from source.

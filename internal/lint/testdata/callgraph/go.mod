@@ -1,0 +1,3 @@
+module example.com/callgraphfix
+
+go 1.21

@@ -1,0 +1,65 @@
+// Package shapes exercises the call-graph builder's edge cases: CHA
+// interface dispatch, method values handed to a worker pool,
+// function-typed struct fields, deferred calls, and goroutine
+// launches. The expectations live in callgraph_test.go as direct graph
+// assertions, not // want comments — the graph is the artifact under
+// test, not diagnostics.
+package shapes
+
+// Policy mimics core.SelectionPolicy: one interface, several
+// implementations, dispatch through the interface.
+type Policy interface{ Pick() int }
+
+// A implements Policy on the value receiver.
+type A struct{}
+
+func (A) Pick() int { return 1 }
+
+// B implements Policy on the pointer receiver.
+type B struct{ n int }
+
+func (b *B) Pick() int { return b.n }
+
+// Dispatch calls through the interface: CHA must fan out to both
+// A.Pick and (*B).Pick.
+func Dispatch(p Policy) int { return p.Pick() }
+
+// Handler carries a function-typed field, the internal/par worker
+// shape.
+type Handler struct{ fn func() int }
+
+// Invoke calls the field: a dynamic edge to every address-taken
+// func() int in the module.
+func (h Handler) Invoke() int { return h.fn() }
+
+func candidate() int { return 3 }
+
+// NewHandler takes candidate's address via the field assignment.
+func NewHandler() Handler { return Handler{fn: candidate} }
+
+// Pool mimics a worker pool accepting a job function.
+type Pool struct{}
+
+// Do calls its parameter: a dynamic edge to every address-taken
+// func(int).
+func (Pool) Do(f func(int)) { f(0) }
+
+// Worker's Step is passed as a method value, which must mark it
+// address-taken and give Do a dynamic edge to it.
+type Worker struct{ n int }
+
+func (w *Worker) Step(i int) { w.n += i }
+
+// Drive hands the method value to the pool.
+func Drive(p Pool, w *Worker) { p.Do(w.Step) }
+
+func finishing() {}
+
+func spinning() {}
+
+// Lifecycle defers one call and launches another on a goroutine; the
+// edge kinds must survive.
+func Lifecycle() {
+	defer finishing()
+	go spinning()
+}

@@ -1,0 +1,3 @@
+module example.com/detreachfix
+
+go 1.21

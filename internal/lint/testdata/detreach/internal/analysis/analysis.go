@@ -1,0 +1,32 @@
+// Package analysis is the fixture's aggregation layer: the *Iter
+// naming convention makes these functions detreach entry points.
+package analysis
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SummarizeIter accumulates map-ordered output and draws ambient
+// randomness, both on the deterministic plane.
+func SummarizeIter(counts map[string]int) []string {
+	var out []string
+	for k := range counts {
+		out = append(out, k) // want "map-order: append to out under range over map"
+	}
+	if rand.Intn(2) == 1 { // want "ambient RNG on the deterministic plane: math/rand.Intn"
+		return nil
+	}
+	return out
+}
+
+// SortedIter is the clean counterpart: sorted accumulation, no
+// randomness.
+func SortedIter(counts map[string]int) []string {
+	var out []string
+	for k := range counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,82 @@
+// Package core is the fixture's deterministic plane: a SelectionPolicy
+// stand-in whose implementations become detreach entry points, with
+// impurities hidden several calls deep — one behind an interface, so
+// only class-hierarchy analysis can see the path.
+package core
+
+import (
+	"time"
+
+	"example.com/detreachfix/internal/stats"
+)
+
+// SelectionPolicy mirrors the real interface detreach roots on.
+type SelectionPolicy interface {
+	ResolveDNS(id int, vid int) int
+	ServeOrRedirect(srv int, vid int) int
+}
+
+// Clock is the indirection hiding the wall clock: Greedy's helper
+// calls Stamp through this interface, and only CHA connects it to the
+// impure implementation below.
+type Clock interface{ Stamp() int64 }
+
+// WallClock is the impure implementation.
+type WallClock struct{}
+
+// Stamp reads the wall clock; reachable from ResolveDNS via stampOf.
+func (WallClock) Stamp() int64 {
+	return time.Now().UnixNano() // want "wall clock on the deterministic plane: time.Now"
+}
+
+// FixedClock is a pure implementation, to give CHA a real choice.
+type FixedClock struct{ At int64 }
+
+// Stamp returns the fixed instant.
+func (c FixedClock) Stamp() int64 { return c.At }
+
+// Greedy implements SelectionPolicy, making its methods entry points.
+type Greedy struct {
+	clock Clock
+	rng   *stats.RNG
+}
+
+// ResolveDNS reaches the wall clock through two frames and an
+// interface dispatch.
+func (g *Greedy) ResolveDNS(id int, vid int) int {
+	return int(stampOf(g.clock)) + vid
+}
+
+// ServeOrRedirect constructs an unforked stream on the deterministic
+// plane instead of deriving one.
+func (g *Greedy) ServeOrRedirect(srv int, vid int) int {
+	fresh := stats.NewRNG(int64(srv)) // want "unforked RNG construction on the deterministic plane"
+	if fresh.Float64() < 0.5 {
+		return srv
+	}
+	return forked(g.rng, vid)
+}
+
+func stampOf(c Clock) int64 { return c.Stamp() }
+
+// forked is the clean shape: child streams derive from the parent.
+func forked(g *stats.RNG, vid int) int {
+	child := g.Fork("serve")
+	return int(child.Float64() * float64(vid))
+}
+
+// Unreached uses the wall clock but is not reachable from any entry
+// point, so detreach must stay silent about it (rngpurity would flag
+// it per package; that is a different analyzer's contract).
+func Unreached() int64 { return time.Now().UnixNano() }
+
+// Allowed is reachable and impure, but documented: the reasoned
+// directive silences the finding.
+type Allowed struct{ Greedy }
+
+// ResolveDNS is an entry point whose wall-clock read carries a
+// suppression with a reason.
+func (a *Allowed) ResolveDNS(id int, vid int) int {
+	//lint:ok detreach fixture: documents the suppression path for reachable impurity
+	return int(time.Now().UnixNano()) + id
+}

@@ -1,0 +1,18 @@
+// Package stats is the stand-in for the sanctioned RNG wrapper; the
+// detreach analyzer exempts it by import-path suffix, so its internals
+// may touch math/rand without tripping the purity walk.
+package stats
+
+import "math/rand"
+
+// RNG is a deterministic stream.
+type RNG struct{ r *rand.Rand }
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG { return &RNG{r: rand.New(rand.NewSource(seed))} }
+
+// Fork derives an independent child stream.
+func (g *RNG) Fork(name string) *RNG { return NewRNG(int64(len(name))) }
+
+// Float64 draws from the stream.
+func (g *RNG) Float64() float64 { return g.r.Float64() }

@@ -1,0 +1,3 @@
+module example.com/goleakfix
+
+go 1.21

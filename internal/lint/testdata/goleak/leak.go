@@ -1,0 +1,105 @@
+// Package leak exercises the goleak analyzer: one goroutine with no
+// join evidence, each of the three accepted handshakes (WaitGroup,
+// result channel, quit channel), join evidence that is only visible
+// transitively through a helper, and a reasoned suppression.
+package leak
+
+import "sync"
+
+var state int
+
+func bgSpin() {
+	for {
+		state++
+	}
+}
+
+// Orphan launches a goroutine nothing ever joins.
+func Orphan() {
+	go bgSpin() // want "goroutine has no join evidence"
+}
+
+// Waited joins its worker through a WaitGroup captured by the closure.
+func Waited(n int) int {
+	var wg sync.WaitGroup
+	total := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		total += n
+	}()
+	wg.Wait()
+	return total
+}
+
+// Collected joins its worker through a result channel: the goroutine
+// sends, the launcher receives.
+func Collected(n int) int {
+	ch := make(chan int)
+	go func() {
+		ch <- n * 2
+	}()
+	return <-ch
+}
+
+// worker hangs its WaitGroup on a struct field so the Done inside
+// finish and the Wait inside Join name the same *types.Var, two call
+// frames apart — only the graph summaries connect them.
+type worker struct {
+	wg sync.WaitGroup
+	n  int
+}
+
+func (w *worker) run() {
+	w.n++
+	w.finish()
+}
+
+func (w *worker) finish() {
+	w.wg.Done()
+}
+
+// Start launches run as a named payload: the join evidence is Done
+// reached transitively via finish.
+func (w *worker) Start() {
+	w.wg.Add(1)
+	go w.run()
+}
+
+// Join is the collector half of the handshake.
+func (w *worker) Join() {
+	w.wg.Wait()
+}
+
+// quitter demonstrates the quit-channel shape: the goroutine receives
+// from quit, and Stop closes it.
+type quitter struct {
+	quit chan struct{}
+	n    int
+}
+
+// Loop runs until the quit channel is closed.
+func (q *quitter) Loop() {
+	go func() {
+		for {
+			select {
+			case <-q.quit:
+				return
+			default:
+				q.n++
+			}
+		}
+	}()
+}
+
+// Stop releases the loop goroutine.
+func (q *quitter) Stop() {
+	close(q.quit)
+}
+
+// Pinned launches an intentionally process-long goroutine; the
+// reasoned directive documents why no join exists.
+func Pinned() {
+	//lint:ok goleak fixture: documents an intentionally process-long goroutine
+	go bgSpin()
+}

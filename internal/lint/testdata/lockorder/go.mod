@@ -1,0 +1,3 @@
+module example.com/lockorderfix
+
+go 1.21

@@ -1,0 +1,150 @@
+// Package locks exercises the lockorder analyzer: a direct AB/BA
+// cycle, a cycle visible only through a callee's may-acquire set, a
+// lock that escapes on one return path, and the clean and suppressed
+// counterparts of each.
+package locks
+
+import "sync"
+
+// Direct AB/BA cycle: both orders appear in one type's methods.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+// AB locks a then b.
+func (p *Pair) AB() {
+	p.a.Lock()
+	p.b.Lock() // want "lock order cycle: b\(locks.go:\d+\) acquired while holding a\(locks.go:\d+\)"
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// BA locks b then a: the opposite order.
+func (p *Pair) BA() {
+	p.b.Lock()
+	p.a.Lock() // want "lock order cycle: a\(locks.go:\d+\) acquired while holding b\(locks.go:\d+\)"
+	p.n--
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// Interprocedural cycle: XthenY never touches y directly — the edge
+// comes from lockY's may-acquire set.
+type Nested struct {
+	x sync.Mutex
+	y sync.Mutex
+	n int
+}
+
+func (m *Nested) lockY() {
+	m.y.Lock()
+	defer m.y.Unlock()
+	m.n++
+}
+
+// XthenY acquires y through the helper while holding x.
+func (m *Nested) XthenY() {
+	m.x.Lock()
+	defer m.x.Unlock()
+	m.lockY() // want "lock order cycle: y\(locks.go:\d+\) acquired while holding x\(locks.go:\d+\) \(through call to \(\*locks.Nested\).lockY\)"
+}
+
+// YthenX is the opposite order, directly.
+func (m *Nested) YthenX() {
+	m.y.Lock()
+	m.x.Lock() // want "lock order cycle: x\(locks.go:\d+\) acquired while holding y\(locks.go:\d+\)"
+	m.n--
+	m.x.Unlock()
+	m.y.Unlock()
+}
+
+// Leaky demonstrates the unlock-on-all-paths check.
+type Leaky struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bad returns while holding mu on the early path.
+func (l *Leaky) Bad(skip bool) int {
+	l.mu.Lock() // want "locked here but not released on every return path"
+	if skip {
+		return 0
+	}
+	n := l.n
+	l.mu.Unlock()
+	return n
+}
+
+// Good defers the unlock: every exit is covered.
+func (l *Leaky) Good(skip bool) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if skip {
+		return 0
+	}
+	return l.n
+}
+
+// Branches unlocks on each path explicitly, including out of a loop
+// and a switch — the abstract interpreter must follow all of them.
+func (l *Leaky) Branches(xs []int) int {
+	l.mu.Lock()
+	for _, x := range xs {
+		if x < 0 {
+			l.mu.Unlock()
+			return x
+		}
+	}
+	switch {
+	case l.n > 0:
+		l.mu.Unlock()
+		return 1
+	default:
+		l.mu.Unlock()
+	}
+	return 0
+}
+
+// Handoff intentionally returns locked: ownership transfers to the
+// caller, which is exactly what the reasoned suppression documents.
+type Handoff struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Acquire locks and hands the locked struct back.
+func (h *Handoff) Acquire() *Handoff {
+	//lint:ok lockorder ownership transfers to the caller, which must call Release
+	h.mu.Lock()
+	return h
+}
+
+// Release returns the lock taken by Acquire.
+func (h *Handoff) Release() { h.mu.Unlock() }
+
+// Consistent uses two locks in one order everywhere: no cycle, no
+// findings.
+type Consistent struct {
+	outer sync.Mutex
+	inner sync.Mutex
+	n     int
+}
+
+// Both nests inner inside outer.
+func (c *Consistent) Both() {
+	c.outer.Lock()
+	defer c.outer.Unlock()
+	c.inner.Lock()
+	defer c.inner.Unlock()
+	c.n++
+}
+
+// OuterOnly takes just the outer lock.
+func (c *Consistent) OuterOnly() {
+	c.outer.Lock()
+	defer c.outer.Unlock()
+	c.n--
+}
