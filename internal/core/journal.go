@@ -1,0 +1,258 @@
+package core
+
+import (
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/content"
+	"github.com/ytcdn-sim/ytcdn/internal/stats"
+	"github.com/ytcdn-sim/ytcdn/internal/topology"
+)
+
+// This file is the effect/decision journal of the optimistic (Time
+// Warp) sharded mode. During a speculative interval every shard records
+// two kinds of entries, in its own event order:
+//
+//   - effects: the shared-state mutations it performed live (flow
+//     begin/end on the load trackers; placement pull-throughs ride
+//     along inside decision entries, see below);
+//   - decisions: every policy consultation that read shared mutable
+//     state (DNS resolution, serve-or-redirect, the race winner),
+//     together with the RNG tape segment it consumed and a rerun
+//     closure that replays the decision against a truth view.
+//
+// At the barrier the driver merges all shards' entries by (time, shard,
+// record order) — exactly the order the sequential k-way merge would
+// have executed them in — and sweeps once: effects advance the truth
+// view, decisions are re-run against it with a replay RNG fed the
+// recorded tape. A decision whose replayed outcome differs, or that
+// consumes a different number of RNG values than the live run did (the
+// spill path draws conditionally on load, so the COUNT is part of the
+// outcome), is a causality violation: some shard read a load or
+// placement value that the true interleaving invalidates. The driver
+// then rolls every shard back to the checkpoint and re-runs the
+// interval sequentially. If the sweep is clean, every decision — and
+// therefore every downstream draw, record and side effect — matches the
+// sequential execution, and because the live effects commute (load
+// counts are sums; the pulled set is a first-insert-deduplicated
+// union), the shared state already equals the sequential end-of-interval
+// state: the interval commits with no further work.
+
+// journalKind tags a journal entry.
+type journalKind uint8
+
+const (
+	journalBegin journalKind = iota // BeginFlow effect
+	journalEnd                      // EndFlow effect
+	journalDecision
+)
+
+// journalEntry is one recorded effect or decision.
+type journalEntry struct {
+	at   time.Duration
+	kind journalKind
+	srv  topology.ServerID // begin/end effects
+	// steps is the RNG tape segment a decision consumed.
+	steps []uint64
+	// rerun replays a decision against the truth view with a replay
+	// stream, returning false when the outcome diverges. On success it
+	// applies the decision's placement side effects to the view's
+	// overlay so later decisions in the sweep observe them.
+	rerun func(*TruthView, *stats.RNG) bool
+}
+
+// Journal is one shard's effect/decision log for the current
+// speculative interval. It is written only by the shard's own engine
+// goroutine and read only by the driver at the barrier (the runner's
+// WaitGroup orders the two), so it needs no locking.
+type Journal struct {
+	entries []journalEntry
+}
+
+// NewJournal returns an empty journal.
+func NewJournal() *Journal { return &Journal{} }
+
+// AddBegin records a BeginFlow effect at simulated time at.
+func (j *Journal) AddBegin(at time.Duration, srv topology.ServerID) {
+	j.entries = append(j.entries, journalEntry{at: at, kind: journalBegin, srv: srv})
+}
+
+// AddEnd records an EndFlow effect at simulated time at.
+func (j *Journal) AddEnd(at time.Duration, srv topology.ServerID) {
+	j.entries = append(j.entries, journalEntry{at: at, kind: journalEnd, srv: srv})
+}
+
+// AddDecision records a shared-state-reading decision: the RNG tape
+// segment it consumed and a closure that replays it against a truth
+// view (see Journal's type comment).
+func (j *Journal) AddDecision(at time.Duration, steps []uint64, rerun func(*TruthView, *stats.RNG) bool) {
+	j.entries = append(j.entries, journalEntry{at: at, kind: journalDecision, steps: steps, rerun: rerun})
+}
+
+// Len returns the number of recorded entries.
+func (j *Journal) Len() int { return len(j.entries) }
+
+// Reset clears the journal for the next interval.
+func (j *Journal) Reset() { j.entries = j.entries[:0] }
+
+// SelectorCheckpoint is the selector's committed state at an optimistic
+// horizon: the load-tracker base the truth view builds on, plus the
+// mechanism counters for rollback.
+type SelectorCheckpoint struct {
+	dcBase, srvBase          []int64
+	spills, hotspots, misses int64
+}
+
+// Checkpoint captures the selector's load and counter state. The
+// driver calls it with every shard parked at the horizon.
+func (s *Selector) Checkpoint() *SelectorCheckpoint {
+	return &SelectorCheckpoint{
+		dcBase:   s.dcFlows.Snapshot(),
+		srvBase:  s.srvSess.Snapshot(),
+		spills:   s.spills.Load(),
+		hotspots: s.hotspots.Load(),
+		misses:   s.misses.Load(),
+	}
+}
+
+// Restore rolls the selector back to a checkpoint. Placement state is
+// rolled back separately (Placement.Rollback).
+func (s *Selector) Restore(ck *SelectorCheckpoint) {
+	s.dcFlows.Restore(ck.dcBase)
+	s.srvSess.Restore(ck.srvBase)
+	s.spills.Store(ck.spills)
+	s.hotspots.Store(ck.hotspots)
+	s.misses.Store(ck.misses)
+}
+
+// TruthView reconstructs, entry by merged entry, the shared state the
+// sequential execution would have presented to each decision: committed
+// load bases plus the interval's deltas so far, and committed placement
+// plus the pull-throughs of already-validated decisions. Policies read
+// it through PolicyView's overlay hook; everything it does is
+// single-threaded inside the validation sweep.
+type TruthView struct {
+	sel *Selector
+	ck  *SelectorCheckpoint
+	// dcDelta/srvDelta accumulate the sweep's flow effects relative to
+	// the checkpoint base. They are delta trackers: a flow begun before
+	// the horizon and ended inside the interval is a legitimate -1.
+	dcDelta, srvDelta *LoadTracker
+	// overlay holds the pull-throughs applied by validated decisions.
+	overlay map[pullKey]struct{}
+}
+
+// NewTruthView builds the truth view of one validation sweep over the
+// given checkpoint.
+func NewTruthView(sel *Selector, ck *SelectorCheckpoint) *TruthView {
+	return &TruthView{
+		sel:      sel,
+		ck:       ck,
+		dcDelta:  NewDeltaTracker("truth-dc-flows", len(ck.dcBase)),
+		srvDelta: NewDeltaTracker("truth-server-sessions", len(ck.srvBase)),
+		overlay:  make(map[pullKey]struct{}),
+	}
+}
+
+// DCLoad returns the truth flow count of a DC: committed base plus the
+// sweep's delta.
+func (tv *TruthView) DCLoad(dc topology.DataCenterID) int {
+	return int(tv.ck.dcBase[dc]) + tv.dcDelta.Load(int(dc))
+}
+
+// ServerLoad returns the truth session count of a server.
+func (tv *TruthView) ServerLoad(srv topology.ServerID) int {
+	return int(tv.ck.srvBase[srv]) + tv.srvDelta.Load(int(srv))
+}
+
+// HasVideo reports whether dc holds vid in the truth state: committed
+// placement (pre-mark) or a pull applied earlier in the sweep.
+func (tv *TruthView) HasVideo(dc topology.DataCenterID, vid content.VideoID, home Home) bool {
+	if _, ok := tv.overlay[pullKey{dc, vid}]; ok {
+		return true
+	}
+	return tv.sel.placement.hasBase(dc, vid, home.Continent, home.ForeignProb, home.Weights)
+}
+
+// Pull applies a validated decision's pull-through to the overlay.
+func (tv *TruthView) Pull(dc topology.DataCenterID, vid content.VideoID) {
+	tv.overlay[pullKey{dc, vid}] = struct{}{}
+}
+
+// begin/end advance the truth loads by one flow effect.
+func (tv *TruthView) begin(srv topology.ServerID) {
+	tv.srvDelta.Acquire(int(srv))
+	tv.dcDelta.Acquire(int(tv.sel.w.Server(srv).DC))
+}
+
+func (tv *TruthView) end(srv topology.ServerID) {
+	tv.srvDelta.Release(int(srv))
+	tv.dcDelta.Release(int(tv.sel.w.Server(srv).DC))
+}
+
+// ResolveDecision replays a DNS decision against the truth view with
+// no side effects: the same policy code as ResolveDNS, reading loads
+// and placement through the overlay.
+func (s *Selector) ResolveDecision(tv *TruthView, id topology.LDNSID, vid content.VideoID, g *stats.RNG) topology.ServerID {
+	dc := s.Policy().ResolveDNS(s.viewTruth(g, tv), id, vid)
+	return s.serverFor(dc, vid)
+}
+
+// ServeDecision replays a serve-or-redirect decision against the truth
+// view with no side effects.
+func (s *Selector) ServeDecision(tv *TruthView, srv topology.ServerID, vid content.VideoID, ldns topology.LDNSID, home Home, g *stats.RNG) Decision {
+	return s.Policy().ServeOrRedirect(s.viewTruth(g, tv), srv, vid, ldns, home)
+}
+
+// RaceCandidatesDecision replays the racing policy's candidate pick
+// against the truth view (nil when the active policy does not race).
+func (s *Selector) RaceCandidatesDecision(tv *TruthView, id topology.LDNSID, vid content.VideoID, g *stats.RNG) []topology.ServerID {
+	rp, ok := s.Policy().(RacingPolicy)
+	if !ok {
+		return nil
+	}
+	return rp.RaceCandidates(s.viewTruth(g, tv), id, vid)
+}
+
+// ValidateJournals runs the validation sweep: it merges every shard's
+// journal by (time, shard, record order) — the sequential merge order —
+// and replays each decision against the truth state built from the
+// checkpoint and the preceding entries. It returns false on the first
+// causality violation: a decision whose replayed outcome differs from
+// what the shard committed to, or whose replay consumes a different
+// number of RNG values than the live run recorded.
+func ValidateJournals(sel *Selector, ck *SelectorCheckpoint, journals []*Journal) bool {
+	tv := NewTruthView(sel, ck)
+	idx := make([]int, len(journals))
+	for {
+		best := -1
+		var bestAt time.Duration
+		for sh, j := range journals {
+			if idx[sh] >= len(j.entries) {
+				continue
+			}
+			at := j.entries[idx[sh]].at
+			if best < 0 || at < bestAt {
+				best, bestAt = sh, at
+			}
+		}
+		if best < 0 {
+			return true
+		}
+		e := &journals[best].entries[idx[best]]
+		idx[best]++
+		switch e.kind {
+		case journalBegin:
+			tv.begin(e.srv)
+		case journalEnd:
+			tv.end(e.srv)
+		case journalDecision:
+			rg := stats.NewReplayRNG(e.steps)
+			if !e.rerun(tv, rg) {
+				return false
+			}
+			if rg.ReplayOverdrawn() || !rg.ReplayExhausted() {
+				return false
+			}
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/content"
+	"github.com/ytcdn-sim/ytcdn/internal/stats"
+	"github.com/ytcdn-sim/ytcdn/internal/topology"
+)
+
+func TestLoadTrackerSnapshotRestore(t *testing.T) {
+	lt := NewLoadTracker("t", 3)
+	lt.Acquire(0)
+	lt.Acquire(1)
+	lt.Acquire(1)
+	snap := lt.Snapshot()
+	lt.Acquire(2)
+	lt.Release(1)
+	lt.Restore(snap)
+	for i, want := range []int{1, 2, 0} {
+		if got := lt.Load(i); got != want {
+			t.Errorf("entity %d: load %d after restore, want %d", i, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("restore with mismatched length did not panic")
+		}
+	}()
+	lt.Restore(make([]int64, 2))
+}
+
+func TestLiveTrackerPanicsNegative(t *testing.T) {
+	lt := NewLoadTracker("t", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("live tracker tolerated a negative count")
+		}
+	}()
+	lt.Release(0)
+}
+
+// TestDeltaTrackerToleratesNegative pins the rollback-aware Release
+// semantics: a delta tracker accumulates an interval's effects from
+// zero, so ending a flow begun before the horizon is a legitimate -1.
+func TestDeltaTrackerToleratesNegative(t *testing.T) {
+	lt := NewDeltaTracker("delta", 2)
+	lt.Release(0) // pre-horizon flow ending in-interval
+	lt.Release(0)
+	lt.Acquire(1)
+	if got := lt.Load(0); got != -2 {
+		t.Errorf("delta load = %d, want -2", got)
+	}
+	if got := lt.Load(1); got != 1 {
+		t.Errorf("delta load = %d, want 1", got)
+	}
+}
+
+// TestPlacementMarkRollback pins the pull-through undo journal: every
+// insertion since Mark is deleted by Rollback, the pulls counter is
+// restored, and pre-mark state is untouched.
+func TestPlacementMarkRollback(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	home := HomeOf(r.vp("US-Campus"))
+	var tail content.VideoID = -1
+	for v := content.VideoID(0); int(v) < r.cat.N(); v++ {
+		if r.cat.IsTail(v) {
+			tail = v
+			break
+		}
+	}
+	if tail < 0 {
+		t.Fatal("no tail video in catalog")
+	}
+	// A DC that does not hold the tail video.
+	var dc topology.DataCenterID = -1
+	for _, cand := range r.w.GoogleDCs() {
+		if !r.pl.Has(cand, tail, home.Continent, home.ForeignProb, home.Weights) {
+			dc = cand
+			break
+		}
+	}
+	if dc < 0 {
+		t.Fatal("tail video present everywhere")
+	}
+
+	r.pl.Pull(dc, tail) // committed before the mark
+	base := r.pl.Pulls()
+	r.pl.Mark()
+
+	// Speculative pulls: a fresh one and a duplicate of the committed one.
+	var tail2 content.VideoID = -1
+	for v := tail + 1; int(v) < r.cat.N(); v++ {
+		if r.cat.IsTail(v) {
+			tail2 = v
+			break
+		}
+	}
+	if tail2 < 0 {
+		t.Fatal("need a second tail video")
+	}
+	r.pl.Pull(dc, tail2)
+	r.pl.Pull(dc, tail) // duplicate: no insertion, nothing journaled
+	if got := r.pl.Pulls(); got != base+1 {
+		t.Fatalf("pulls = %d, want %d", got, base+1)
+	}
+	// hasBase must exclude the speculative pull but keep the committed one.
+	if r.pl.hasBase(dc, tail2, home.Continent, home.ForeignProb, home.Weights) {
+		t.Error("hasBase sees a speculative pull")
+	}
+	if !r.pl.hasBase(dc, tail, home.Continent, home.ForeignProb, home.Weights) {
+		t.Error("hasBase lost a committed pull")
+	}
+
+	r.pl.Rollback()
+	if r.pl.Has(dc, tail2, home.Continent, home.ForeignProb, home.Weights) {
+		t.Error("rollback left the speculative pull in place")
+	}
+	if !r.pl.Has(dc, tail, home.Continent, home.ForeignProb, home.Weights) {
+		t.Error("rollback deleted a committed pull")
+	}
+	if got := r.pl.Pulls(); got != base {
+		t.Errorf("pulls = %d after rollback, want %d", got, base)
+	}
+
+	// A second Mark commits: Rollback then undoes nothing.
+	r.pl.Pull(dc, tail2)
+	r.pl.Mark()
+	r.pl.Rollback()
+	if !r.pl.Has(dc, tail2, home.Continent, home.ForeignProb, home.Weights) {
+		t.Error("rollback crossed a commit boundary")
+	}
+}
+
+func TestSelectorCheckpointRestore(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	srv := r.w.DC(r.w.GoogleDCs()[0]).Servers[0].ID
+	r.sel.BeginFlow(srv)
+	ck := r.sel.Checkpoint()
+	r.sel.BeginFlow(srv)
+	r.sel.spills.Add(3)
+	r.sel.misses.Add(1)
+	r.sel.Restore(ck)
+	if got := r.sel.ServerLoad(srv); got != 1 {
+		t.Errorf("server load = %d after restore, want 1", got)
+	}
+	if got := r.sel.DCLoad(r.w.Server(srv).DC); got != 1 {
+		t.Errorf("dc load = %d after restore, want 1", got)
+	}
+	sp, _, mi := r.sel.Counters()
+	if sp != 0 || mi != 0 {
+		t.Errorf("counters (%d, %d) after restore, want zeros", sp, mi)
+	}
+}
+
+// TestValidateJournalsMergeOrder pins the sweep semantics: journals
+// merge by time across shards, effects advance the truth loads, and a
+// decision fails exactly when the truth state it replays against
+// contradicts what the shard observed live.
+func TestValidateJournalsMergeOrder(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	srv := r.w.DC(r.w.GoogleDCs()[0]).Servers[0].ID
+	dc := r.w.Server(srv).DC
+	ck := r.sel.Checkpoint()
+
+	// Shard 0 decided at t=5 having observed DCLoad(dc) == 0.
+	decide := func(wantLoad int) func(*TruthView, *stats.RNG) bool {
+		return func(tv *TruthView, _ *stats.RNG) bool {
+			return tv.DCLoad(dc) == wantLoad
+		}
+	}
+	j0 := NewJournal()
+	j0.AddDecision(5*time.Second, nil, decide(0))
+
+	// Shard 1's begin at t=3 precedes the decision in merge order: the
+	// decision read a load the true interleaving invalidates.
+	j1 := NewJournal()
+	j1.AddBegin(3*time.Second, srv)
+	if ValidateJournals(r.sel, ck, []*Journal{j0, j1}) {
+		t.Error("cross-shard begin before the decision must be a violation")
+	}
+
+	// The same begin after the decision is harmless.
+	j0.Reset()
+	j1.Reset()
+	j0.AddDecision(5*time.Second, nil, decide(0))
+	j1.AddBegin(7*time.Second, srv)
+	if !ValidateJournals(r.sel, ck, []*Journal{j0, j1}) {
+		t.Error("begin after the decision must validate")
+	}
+
+	// Begin/end pairs cancel; a pre-horizon flow's end is a -1 delta the
+	// sweep must tolerate (relaxed delta tracker) and expose as truth.
+	j0.Reset()
+	j1.Reset()
+	r.sel.BeginFlow(srv) // committed before the checkpoint
+	ck2 := r.sel.Checkpoint()
+	j1.AddEnd(1*time.Second, srv)
+	j0.AddDecision(2*time.Second, nil, decide(0))
+	if !ValidateJournals(r.sel, ck2, []*Journal{j0, j1}) {
+		t.Error("pre-horizon flow end must yield truth load 0")
+	}
+}
+
+// TestValidateJournalsStepCount pins that RNG draw count is part of a
+// decision's outcome: a replay consuming more or fewer values than the
+// live run recorded is a violation even if the return value matches.
+func TestValidateJournalsStepCount(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	ck := r.sel.Checkpoint()
+
+	draws := func(n int) func(*TruthView, *stats.RNG) bool {
+		return func(_ *TruthView, rg *stats.RNG) bool {
+			for i := 0; i < n; i++ {
+				rg.Float64()
+			}
+			return true
+		}
+	}
+	tape := func(n int) []uint64 {
+		g := stats.NewRNG(1)
+		g.Mark()
+		for i := 0; i < n; i++ {
+			g.Float64()
+		}
+		return g.TapeSince(0)
+	}
+
+	j := NewJournal()
+	j.AddDecision(1*time.Second, tape(2), draws(2))
+	if !ValidateJournals(r.sel, ck, []*Journal{j}) {
+		t.Error("exact replay must validate")
+	}
+	j.Reset()
+	j.AddDecision(1*time.Second, tape(2), draws(1))
+	if ValidateJournals(r.sel, ck, []*Journal{j}) {
+		t.Error("under-consuming replay must be a violation")
+	}
+	j.Reset()
+	j.AddDecision(1*time.Second, tape(1), draws(2))
+	if ValidateJournals(r.sel, ck, []*Journal{j}) {
+		t.Error("over-consuming replay must be a violation")
+	}
+}
+
+// TestTruthViewOverlay pins placement reads during the sweep: committed
+// state plus validated pulls, never speculative live pulls.
+func TestTruthViewOverlay(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	home := HomeOf(r.vp("US-Campus"))
+	var tail content.VideoID = -1
+	for v := content.VideoID(0); int(v) < r.cat.N(); v++ {
+		if r.cat.IsTail(v) {
+			tail = v
+			break
+		}
+	}
+	var dc topology.DataCenterID = -1
+	for _, cand := range r.w.GoogleDCs() {
+		if !r.pl.Has(cand, tail, home.Continent, home.ForeignProb, home.Weights) {
+			dc = cand
+			break
+		}
+	}
+	if tail < 0 || dc < 0 {
+		t.Fatal("no suitable tail video / DC")
+	}
+	r.pl.Mark()
+	ck := r.sel.Checkpoint()
+	r.pl.Pull(dc, tail) // speculative live pull
+
+	tv := NewTruthView(r.sel, ck)
+	if tv.HasVideo(dc, tail, home) {
+		t.Error("truth view sees a speculative pull")
+	}
+	tv.Pull(dc, tail) // the validated decision applies it
+	if !tv.HasVideo(dc, tail, home) {
+		t.Error("truth view misses a validated pull")
+	}
+}

@@ -32,6 +32,13 @@ import (
 //     shared state that is stale by at most one window — the price of
 //     near-linear speedup.
 //
+// A third protocol, optimistic (Time Warp) execution, is enabled by
+// SetOptimistic on a window-0 runner: shards speculate through each
+// interval concurrently and a journal-validation pass commits clean
+// intervals or rolls back and re-executes violated ones sequentially,
+// keeping results bit-identical to the merge while still extracting
+// parallelism (see runOptimistic).
+//
 // Barriers registered with At run between windows, when every shard's
 // clock sits exactly on the barrier time: they are the hook for global
 // scenario actions (a mid-run policy switch) that must not interleave
@@ -41,13 +48,49 @@ type ShardedRunner struct {
 	shards   []*Engine
 	window   time.Duration
 	barriers []barrier
+	// started flips when Run begins; AddBarrier panics afterwards
+	// (a barrier registered mid-run would be silently missorted or
+	// skipped depending on how far the run has progressed).
+	started bool
 
-	// Optional instruments (see Instrument). All three count pure
+	// Optimistic (Time Warp) mode, enabled by SetOptimistic: shards
+	// speculate through optWindow-sized intervals concurrently and the
+	// hooks validate/commit or roll back each interval (see the method
+	// comment).
+	optWindow time.Duration
+	hooks     OptimisticHooks
+
+	// Optional instruments (see Instrument). All count pure
 	// event-structure facts — windows advanced, barriers fired, shards
-	// idle across a window — so recording them never perturbs the run.
+	// idle across a window, intervals rolled back or committed — so
+	// recording them never perturbs the run.
 	windows      *obs.Counter
 	barrierFires *obs.Counter
 	stalls       *obs.Counter
+	rollbacks    *obs.Counter
+	commits      *obs.Counter
+}
+
+// OptimisticHooks is the coordinator side of the optimistic protocol.
+// The runner drives the control flow — checkpoint, speculate, validate,
+// commit or roll back — and the hooks own the simulation state the
+// engine layer cannot see (load trackers, placement, RNG tapes, staged
+// sinks, the engines' own snapshots). All four methods are called with
+// every shard parked, single-threaded.
+type OptimisticHooks interface {
+	// Checkpoint captures all shared and per-shard state at the current
+	// horizon, immediately before a speculative interval.
+	Checkpoint()
+	// Validate reports whether the just-speculated interval is free of
+	// cross-shard causality violations.
+	Validate() bool
+	// Rollback restores the Checkpoint state after a failed validation.
+	// The runner then re-executes the interval sequentially.
+	Rollback()
+	// Commit finalizes the interval ending at horizon: journal entries
+	// become permanent and staged side effects (capture records) are
+	// released downstream.
+	Commit(horizon time.Duration)
 }
 
 type barrier struct {
@@ -66,14 +109,54 @@ func NewShardedRunner(window time.Duration, shards ...*Engine) (*ShardedRunner, 
 	if window < 0 {
 		return nil, fmt.Errorf("des: sync window %v must be >= 0", window)
 	}
+	seen := make(map[*Engine]int, len(shards))
+	for i, e := range shards {
+		if e == nil {
+			return nil, fmt.Errorf("des: shard %d is nil", i)
+		}
+		if j, dup := seen[e]; dup {
+			return nil, fmt.Errorf("des: shards %d and %d are the same engine", j, i)
+		}
+		seen[e] = i
+	}
 	return &ShardedRunner{shards: shards, window: window}, nil
 }
 
+// SetOptimistic switches the runner to optimistic (Time Warp) mode:
+// shards speculate concurrently through window-sized intervals with
+// shared state live, and the hooks checkpoint, validate and commit (or
+// roll back and let the runner re-execute sequentially) each interval.
+// It must be called before Run, on a runner constructed with sync
+// window 0 — optimistic and conservative windowing are alternative
+// synchronization protocols, not layers.
+func (r *ShardedRunner) SetOptimistic(window time.Duration, hooks OptimisticHooks) error {
+	if r.started {
+		return fmt.Errorf("des: SetOptimistic after Run")
+	}
+	if window <= 0 {
+		return fmt.Errorf("des: optimistic window %v must be > 0", window)
+	}
+	if hooks == nil {
+		return fmt.Errorf("des: optimistic mode needs hooks")
+	}
+	if r.window != 0 {
+		return fmt.Errorf("des: optimistic mode requires sync window 0, have %v", r.window)
+	}
+	r.optWindow = window
+	r.hooks = hooks
+	return nil
+}
+
 // Instrument publishes the runner's progress into reg:
-// "sim.runner.windows" (lockstep windows completed),
-// "sim.runner.barriers" (global barrier actions fired), and
+// "sim.runner.windows" (lockstep or speculative windows completed),
+// "sim.runner.barriers" (global barrier actions fired),
 // "sim.runner.window_stalls" (shard-windows in which a shard executed
-// no events — shards parked at the barrier waiting for stragglers).
+// no events — shards parked at the barrier waiting for stragglers),
+// "sim.runner.rollbacks" (optimistic intervals that failed validation
+// and were re-executed sequentially) and "sim.runner.commits"
+// (optimistic intervals finalized). The rollback/commit counters are
+// protocol telemetry: they vary with goroutine scheduling even though
+// every simulation result is deterministic.
 // It also registers per-shard live gauges "sim.shard.<i>.queue_depth",
 // "sim.shard.<i>.events" and "sim.shard.<i>.now_seconds", plus the
 // aggregate "sim.des.events". Instrument must be called before Run.
@@ -81,6 +164,8 @@ func (r *ShardedRunner) Instrument(reg *obs.Registry) {
 	r.windows = reg.Counter("sim.runner.windows")
 	r.barrierFires = reg.Counter("sim.runner.barriers")
 	r.stalls = reg.Counter("sim.runner.window_stalls")
+	r.rollbacks = reg.Counter("sim.runner.rollbacks")
+	r.commits = reg.Counter("sim.runner.commits")
 	for i, e := range r.shards {
 		e := e
 		prefix := fmt.Sprintf("sim.shard.%d.", i)
@@ -108,24 +193,33 @@ func (r *ShardedRunner) Instrument(reg *obs.Registry) {
 }
 
 // AddBarrier registers a global action at the given simulated time.
-// Barriers at the same time run in registration order. AddBarrier must
-// not be called after Run has started.
+// Barriers at the same time run in registration order. AddBarrier
+// panics if called after Run has started: the barrier schedule is
+// sorted once at Run, so a late registration would be silently
+// missorted or skipped.
 func (r *ShardedRunner) AddBarrier(at time.Duration, run func()) {
+	if r.started {
+		panic("des: AddBarrier after Run has started")
+	}
 	r.barriers = append(r.barriers, barrier{at: at, seq: len(r.barriers), run: run})
 }
 
 // Run executes all shards to exhaustion, honouring the registered
 // barriers. Any barriers beyond the last event still run, in order.
 func (r *ShardedRunner) Run() {
+	r.started = true
 	sort.Slice(r.barriers, func(i, j int) bool {
 		if r.barriers[i].at != r.barriers[j].at {
 			return r.barriers[i].at < r.barriers[j].at
 		}
 		return r.barriers[i].seq < r.barriers[j].seq
 	})
-	if r.window == 0 {
+	switch {
+	case r.hooks != nil:
+		r.runOptimistic()
+	case r.window == 0:
 		r.runMerged()
-	} else {
+	default:
 		r.runWindowed()
 	}
 }
@@ -148,6 +242,11 @@ func (r *ShardedRunner) Run() {
 // pre-wired tied events that touch the selector, placement or sink
 // breaks the guarantee — the sharding property tests pin it
 // empirically at both granularities.
+// Barrier actions may schedule events, so the loop re-peeks after
+// every barrier instead of stepping a pre-barrier best (which could
+// have been overtaken by an event the barrier just scheduled), and
+// barriers beyond the last event fire inside the same loop so that
+// events THEY schedule are merged too rather than orphaned.
 func (r *ShardedRunner) runMerged() {
 	bi := 0
 	for {
@@ -163,16 +262,21 @@ func (r *ShardedRunner) runMerged() {
 			}
 		}
 		if best < 0 {
-			break
-		}
-		for bi < len(r.barriers) && r.barriers[bi].at <= bestAt {
+			// No events pending; remaining barriers still fire, and any
+			// events a barrier schedules re-enter the merge.
+			if bi >= len(r.barriers) {
+				return
+			}
 			r.fireBarrier(r.barriers[bi])
 			bi++
+			continue
+		}
+		if bi < len(r.barriers) && r.barriers[bi].at <= bestAt {
+			r.fireBarrier(r.barriers[bi])
+			bi++
+			continue
 		}
 		r.shards[best].Step()
-	}
-	for ; bi < len(r.barriers); bi++ {
-		r.fireBarrier(r.barriers[bi])
 	}
 }
 
@@ -196,6 +300,13 @@ func (r *ShardedRunner) fireBarrier(b barrier) {
 // windows, each on its own goroutine. Windows are anchored at the
 // earliest pending event so stretches with no events are skipped in
 // one step instead of being walked window by window.
+// Like runMerged, the loop fires one barrier at a time and re-peeks:
+// a barrier that schedules events must see them anchor the next
+// window, and trailing barriers fold into the main loop for the same
+// reason. A barrier exactly on a window boundary needs no special
+// case — the window runs strictly-before semantics, so the boundary
+// event population is untouched and the barrier fires next iteration
+// with every clock parked on it.
 func (r *ShardedRunner) runWindowed() {
 	bi := 0
 	for {
@@ -206,13 +317,19 @@ func (r *ShardedRunner) runWindowed() {
 			}
 		}
 		if lo < 0 {
-			break
-		}
-		next := lo + r.window
-		for bi < len(r.barriers) && r.barriers[bi].at <= lo {
+			if bi >= len(r.barriers) {
+				return
+			}
 			r.fireBarrier(r.barriers[bi])
 			bi++
+			continue
 		}
+		if bi < len(r.barriers) && r.barriers[bi].at <= lo {
+			r.fireBarrier(r.barriers[bi])
+			bi++
+			continue
+		}
+		next := lo + r.window
 		if bi < len(r.barriers) && r.barriers[bi].at < next {
 			next = r.barriers[bi].at
 		}
@@ -239,7 +356,101 @@ func (r *ShardedRunner) runWindowed() {
 			}
 		}
 	}
-	for ; bi < len(r.barriers); bi++ {
-		r.fireBarrier(r.barriers[bi])
+}
+
+// runOptimistic is the Time Warp mode: each interval is checkpointed,
+// speculated concurrently with shared state live (the hooks journal
+// every cross-shard-visible effect), then validated single-threaded.
+// A clean interval commits as-is — the speculation already produced
+// the sequential state. A causality violation rolls everything back to
+// the checkpoint and re-executes the interval through the sequential
+// merge, which cannot be wrong, then commits. Either way the state at
+// each commit horizon is bit-identical to the sequential run; only the
+// rollback/commit protocol counters depend on scheduling.
+func (r *ShardedRunner) runOptimistic() {
+	bi := 0
+	for {
+		lo := time.Duration(-1)
+		for _, e := range r.shards {
+			if at, ok := e.PeekTime(); ok && (lo < 0 || at < lo) {
+				lo = at
+			}
+		}
+		if lo < 0 {
+			if bi >= len(r.barriers) {
+				return
+			}
+			r.fireBarrier(r.barriers[bi])
+			bi++
+			continue
+		}
+		if bi < len(r.barriers) && r.barriers[bi].at <= lo {
+			// Barriers fire between committed intervals: every effect
+			// before the barrier is final, so a global action (policy
+			// switch) can never be rolled back — even when several
+			// equal-time barriers straddle a rollback horizon they all
+			// run here, after the horizon's commit, in registration
+			// order.
+			r.fireBarrier(r.barriers[bi])
+			bi++
+			continue
+		}
+		next := lo + r.optWindow
+		if bi < len(r.barriers) && r.barriers[bi].at < next {
+			next = r.barriers[bi].at
+		}
+		r.hooks.Checkpoint()
+		var wg sync.WaitGroup
+		for _, e := range r.shards {
+			e := e
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				e.RunBefore(next)
+			}()
+		}
+		wg.Wait()
+		if !r.hooks.Validate() {
+			r.hooks.Rollback()
+			r.runMergedUntil(next)
+			if r.rollbacks != nil {
+				r.rollbacks.Inc()
+			}
+		}
+		r.hooks.Commit(next)
+		if r.commits != nil {
+			r.commits.Inc()
+		}
+		if r.windows != nil {
+			r.windows.Inc()
+		}
+	}
+}
+
+// runMergedUntil re-executes one rolled-back interval sequentially:
+// the k-way merge of all events strictly before deadline, then every
+// clock parked exactly at deadline. Barriers never fall inside an
+// interval (the window is capped at the next barrier), so none are
+// consulted here.
+func (r *ShardedRunner) runMergedUntil(deadline time.Duration) {
+	for {
+		best := -1
+		var bestAt time.Duration
+		for i, e := range r.shards {
+			at, ok := e.PeekTime()
+			if !ok || at >= deadline {
+				continue
+			}
+			if best < 0 || at < bestAt {
+				best, bestAt = i, at
+			}
+		}
+		if best < 0 {
+			break
+		}
+		r.shards[best].Step()
+	}
+	for _, e := range r.shards {
+		e.RunBefore(deadline)
 	}
 }

@@ -1,7 +1,9 @@
 package des
 
 import (
+	"fmt"
 	"reflect"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -237,5 +239,311 @@ func TestMergedCrossShardTieBreak(t *testing.T) {
 	want := "abcabc"
 	if got := strings.Join(order, ""); got != want {
 		t.Errorf("tied events ran in order %q, want shard-index order %q", got, want)
+	}
+}
+
+// TestMergedBarrierSchedulesEvents pins the re-peek fix: a barrier
+// action that schedules events must have them merged in time order,
+// not run after a stale pre-barrier pick — including events scheduled
+// by barriers beyond the last originally-wired event.
+func TestMergedBarrierSchedulesEvents(t *testing.T) {
+	shards := []*Engine{{}, {}}
+	var log []string
+	shards[0].Schedule(10*time.Second, func() { log = append(log, "a@10") })
+
+	r, err := NewShardedRunner(0, shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fires before a@10 and schedules an earlier cross-shard event: the
+	// old loop would have stepped the stale pick (a@10) first.
+	r.AddBarrier(5*time.Second, func() {
+		log = append(log, "bar@5")
+		shards[1].Schedule(7*time.Second, func() { log = append(log, "b@7") })
+	})
+	// A trailing barrier that schedules work: the old trailing loop
+	// fired barriers only, orphaning the event inside fireBarrier's
+	// clock advance on the NEXT trailing barrier (shard order, not
+	// merge order) or dropping it entirely after the last barrier.
+	r.AddBarrier(20*time.Second, func() {
+		log = append(log, "bar@20")
+		shards[0].Schedule(21*time.Second, func() { log = append(log, "a@21") })
+		shards[1].Schedule(21*time.Second, func() { log = append(log, "b@21") })
+	})
+	r.AddBarrier(30*time.Second, func() { log = append(log, "bar@30") })
+	r.Run()
+
+	want := []string{"bar@5", "b@7", "a@10", "bar@20", "a@21", "b@21", "bar@30"}
+	if !reflect.DeepEqual(log, want) {
+		t.Errorf("log = %v, want %v", log, want)
+	}
+}
+
+// TestWindowedBarrierSchedulesEvents is the windowed-mode twin: events
+// scheduled by a (trailing) barrier must still run, and a barrier
+// falling exactly on a window boundary fires with every clock parked
+// on it before any boundary-time event runs.
+func TestWindowedBarrierSchedulesEvents(t *testing.T) {
+	shards := []*Engine{{}, {}}
+	var mu sync.Mutex
+	var ran []string
+	shards[0].Schedule(0, func() { mu.Lock(); ran = append(ran, "a@0"); mu.Unlock() })
+
+	r, err := NewShardedRunner(10*time.Second, shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 + window = 10s: exactly on the first window's boundary.
+	r.AddBarrier(10*time.Second, func() {
+		mu.Lock()
+		defer mu.Unlock()
+		ran = append(ran, "bar@10")
+		for i, e := range shards {
+			if e.Now() != 10*time.Second {
+				t.Errorf("shard %d clock at boundary barrier = %v", i, e.Now())
+			}
+		}
+		shards[1].Schedule(10*time.Second, func() { mu.Lock(); ran = append(ran, "b@10"); mu.Unlock() })
+	})
+	r.AddBarrier(40*time.Second, func() {
+		mu.Lock()
+		defer mu.Unlock()
+		ran = append(ran, "bar@40")
+		shards[0].Schedule(45*time.Second, func() { mu.Lock(); ran = append(ran, "a@45"); mu.Unlock() })
+	})
+	r.Run()
+
+	want := []string{"a@0", "bar@10", "b@10", "bar@40", "a@45"}
+	if !reflect.DeepEqual(ran, want) {
+		t.Errorf("ran = %v, want %v", ran, want)
+	}
+}
+
+// TestShardedRunnerRejectsNilAndDuplicateShards pins the construction
+// validation: a nil engine or the same engine wired twice used to be
+// accepted and fail only later as a data race or a double-stepped
+// queue.
+func TestShardedRunnerRejectsNilAndDuplicateShards(t *testing.T) {
+	if _, err := NewShardedRunner(0, &Engine{}, nil); err == nil {
+		t.Error("nil shard must be rejected")
+	}
+	e := &Engine{}
+	if _, err := NewShardedRunner(0, e, &Engine{}, e); err == nil {
+		t.Error("duplicate shard must be rejected")
+	}
+}
+
+// TestAddBarrierAfterRunPanics pins the mid-run registration guard.
+func TestAddBarrierAfterRunPanics(t *testing.T) {
+	r, err := NewShardedRunner(0, &Engine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("AddBarrier after Run did not panic")
+		}
+	}()
+	r.AddBarrier(time.Second, func() {})
+}
+
+// hookRecorder is a scripted OptimisticHooks: it snapshots/restores
+// the engines AND the test's side-effect log (a real coordinator
+// checkpoints every effect a rollback must undo), and fails validation
+// on the intervals listed in failOn, counting protocol calls.
+type hookRecorder struct {
+	t        *testing.T
+	shards   []*Engine
+	failOn   map[int]bool
+	interval int
+	snaps    []*EngineSnapshot
+	log      []string
+	horizons []time.Duration
+	// sideEffects is the test-owned record the simulated events append
+	// to; checkpointed by length, truncated on rollback.
+	sideEffects *[]string
+	effectsMu   *sync.Mutex
+	effectsLen  int
+}
+
+func (h *hookRecorder) Checkpoint() {
+	h.snaps = make([]*EngineSnapshot, len(h.shards))
+	for i, e := range h.shards {
+		h.snaps[i] = e.Snapshot()
+	}
+	if h.sideEffects != nil {
+		h.effectsMu.Lock()
+		h.effectsLen = len(*h.sideEffects)
+		h.effectsMu.Unlock()
+	}
+	h.log = append(h.log, "ckpt")
+}
+
+func (h *hookRecorder) Validate() bool {
+	h.log = append(h.log, "validate")
+	ok := !h.failOn[h.interval]
+	h.interval++
+	return ok
+}
+
+func (h *hookRecorder) Rollback() {
+	for i, e := range h.shards {
+		e.Restore(h.snaps[i])
+	}
+	if h.sideEffects != nil {
+		h.effectsMu.Lock()
+		*h.sideEffects = (*h.sideEffects)[:h.effectsLen]
+		h.effectsMu.Unlock()
+	}
+	h.log = append(h.log, "rollback")
+}
+
+func (h *hookRecorder) Commit(horizon time.Duration) {
+	h.log = append(h.log, "commit")
+	h.horizons = append(h.horizons, horizon)
+}
+
+// TestOptimisticDriver pins the runner's optimistic control flow:
+// checkpoint → speculate → validate, commit on success, rollback +
+// sequential re-execution on failure — with every event running
+// exactly once per committed interval and results independent of which
+// intervals fail.
+func TestOptimisticDriver(t *testing.T) {
+	run := func(failOn map[int]bool) ([]string, []string, []time.Duration) {
+		shards := []*Engine{{}, {}}
+		var mu sync.Mutex
+		var events []string
+		for s, e := range shards {
+			s, e := s, e
+			for i := 0; i < 6; i++ {
+				at := time.Duration(i*4+s) * time.Second
+				name := fmt.Sprintf("s%d@%v", s, at)
+				e.Schedule(at, func() {
+					mu.Lock()
+					events = append(events, name)
+					mu.Unlock()
+				})
+			}
+		}
+		r, err := NewShardedRunner(0, shards...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := &hookRecorder{t: t, shards: shards, failOn: failOn, sideEffects: &events, effectsMu: &mu}
+		if err := r.SetOptimistic(8*time.Second, h); err != nil {
+			t.Fatal(err)
+		}
+		r.Run()
+		sort.Strings(events) // cross-shard speculation order is free
+		return events, h.log, h.horizons
+	}
+
+	clean, cleanLog, cleanHz := run(nil)
+	if len(clean) != 12 {
+		t.Fatalf("clean run executed %d events, want 12", len(clean))
+	}
+	for _, s := range cleanLog {
+		if s == "rollback" {
+			t.Fatal("clean run rolled back")
+		}
+	}
+
+	dirty, dirtyLog, dirtyHz := run(map[int]bool{0: true, 2: true})
+	if !reflect.DeepEqual(dirty, clean) {
+		t.Errorf("rollback changed the executed event set:\n got %v\nwant %v", dirty, clean)
+	}
+	if !reflect.DeepEqual(dirtyHz, cleanHz) {
+		t.Errorf("rollback changed commit horizons: %v vs %v", dirtyHz, cleanHz)
+	}
+	rollbacks := 0
+	for _, s := range dirtyLog {
+		if s == "rollback" {
+			rollbacks++
+		}
+	}
+	if rollbacks != 2 {
+		t.Errorf("rollbacks = %d, want 2", rollbacks)
+	}
+}
+
+// TestOptimisticEqualTimeBarriersAtHorizon pins the barrier edge the
+// optimistic mode must get right: several equal-time barriers sitting
+// exactly on a rollback horizon all fire once, in registration order,
+// after the interval before them has committed — a rollback of that
+// interval must neither re-fire nor skip them.
+func TestOptimisticEqualTimeBarriersAtHorizon(t *testing.T) {
+	shards := []*Engine{{}, {}}
+	var mu sync.Mutex
+	var log []string
+	shards[0].Schedule(1*time.Second, func() { mu.Lock(); log = append(log, "a@1"); mu.Unlock() })
+	shards[1].Schedule(12*time.Second, func() { mu.Lock(); log = append(log, "b@12"); mu.Unlock() })
+
+	r, err := NewShardedRunner(0, shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interval [1s, 10s) fails validation and is re-executed; the
+	// barriers at its horizon fire exactly once afterwards.
+	h := &hookRecorder{t: t, shards: shards, failOn: map[int]bool{0: true}, sideEffects: &log, effectsMu: &mu}
+	if err := r.SetOptimistic(9*time.Second, h); err != nil {
+		t.Fatal(err)
+	}
+	r.AddBarrier(10*time.Second, func() { log = append(log, "bar1@10") })
+	r.AddBarrier(10*time.Second, func() { log = append(log, "bar2@10") })
+	r.Run()
+
+	want := []string{"a@1", "bar1@10", "bar2@10", "b@12"}
+	if !reflect.DeepEqual(log, want) {
+		t.Errorf("log = %v, want %v", log, want)
+	}
+}
+
+// TestSetOptimisticValidation rejects bad optimistic configuration.
+func TestSetOptimisticValidation(t *testing.T) {
+	h := &hookRecorder{}
+	if r, _ := NewShardedRunner(0, &Engine{}); r.SetOptimistic(0, h) == nil {
+		t.Error("zero optimistic window must be rejected")
+	}
+	if r, _ := NewShardedRunner(0, &Engine{}); r.SetOptimistic(time.Second, nil) == nil {
+		t.Error("nil hooks must be rejected")
+	}
+	if r, _ := NewShardedRunner(time.Minute, &Engine{}); r.SetOptimistic(time.Second, h) == nil {
+		t.Error("optimistic over a conservative window must be rejected")
+	}
+	r, _ := NewShardedRunner(0, &Engine{})
+	r.Run()
+	if r.SetOptimistic(time.Second, h) == nil {
+		t.Error("SetOptimistic after Run must be rejected")
+	}
+}
+
+// TestEngineSnapshotRestore pins the engine half of a checkpoint:
+// pending events, clock, tie-break sequence and executed count all
+// rewind, and one snapshot restores repeatedly.
+func TestEngineSnapshotRestore(t *testing.T) {
+	e := &Engine{}
+	var log []string
+	e.Schedule(1*time.Second, func() { log = append(log, "a") })
+	e.Schedule(2*time.Second, func() {
+		log = append(log, "b")
+		e.ScheduleAfter(time.Second, func() { log = append(log, "c") })
+	})
+	e.Step() // run "a"
+	snap := e.Snapshot()
+
+	for round := 0; round < 2; round++ {
+		e.Restore(snap)
+		if e.Now() != 1*time.Second || e.Pending() != 1 {
+			t.Fatalf("round %d: now=%v pending=%d after restore", round, e.Now(), e.Pending())
+		}
+		e.Run()
+	}
+	want := []string{"a", "b", "c", "b", "c"}
+	if !reflect.DeepEqual(log, want) {
+		t.Errorf("log = %v, want %v", log, want)
+	}
+	if e.Executed() != 3 { // restored to 1, then b and c
+		t.Errorf("executed = %d, want 3", e.Executed())
 	}
 }

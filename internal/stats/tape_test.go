@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTapeWrapperMatchesStdlib pins the draw-identity contract of the
+// tape interposer: an RNG is byte-identical to a bare
+// rand.New(rand.NewSource(seed)) across every draw method. This is
+// what keeps the trace goldens from re-rolling when the tape layer is
+// in the path.
+func TestTapeWrapperMatchesStdlib(t *testing.T) {
+	g := NewRNG(42)
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		switch i % 6 {
+		case 0:
+			if a, b := g.Float64(), r.Float64(); a != b {
+				t.Fatalf("draw %d: Float64 %v != %v", i, a, b)
+			}
+		case 1:
+			if a, b := g.Intn(97), r.Intn(97); a != b {
+				t.Fatalf("draw %d: Intn %d != %d", i, a, b)
+			}
+		case 2:
+			if a, b := g.Int63(), r.Int63(); a != b {
+				t.Fatalf("draw %d: Int63 %d != %d", i, a, b)
+			}
+		case 3:
+			if a, b := g.NormFloat64(), r.NormFloat64(); a != b {
+				t.Fatalf("draw %d: NormFloat64 %v != %v", i, a, b)
+			}
+		case 4:
+			if a, b := g.ExpFloat64(), r.ExpFloat64(); a != b {
+				t.Fatalf("draw %d: ExpFloat64 %v != %v", i, a, b)
+			}
+		case 5:
+			if a, b := g.Perm(7), r.Perm(7); !equalInts(a, b) {
+				t.Fatalf("draw %d: Perm %v != %v", i, a, b)
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMarkRewindReplays pins the rollback contract: after Mark, any
+// draw sequence followed by Rewind replays the same tape, even when the
+// replay interprets the values through different draw methods or
+// consumes a different count before continuing live.
+func TestMarkRewindReplays(t *testing.T) {
+	g := NewRNG(7)
+	ref := NewRNG(7)
+	// Burn a prefix on both so the mark is mid-stream.
+	for i := 0; i < 13; i++ {
+		g.Float64()
+		ref.Float64()
+	}
+	g.Mark()
+	// Speculate: draw a mixture, then roll back.
+	for i := 0; i < 31; i++ {
+		g.Intn(1000)
+		g.NormFloat64()
+	}
+	g.Rewind()
+	// Replay with a different interpretation and length; the stream
+	// must still equal the never-speculated reference.
+	for i := 0; i < 200; i++ {
+		if a, b := g.Float64(), ref.Float64(); a != b {
+			t.Fatalf("draw %d after rewind: %v != %v", i, a, b)
+		}
+	}
+}
+
+// TestRewindTwice pins that rollbacks compose: rewound values are
+// re-journaled while they replay, so a second rollback of the same
+// interval replays the identical tape.
+func TestRewindTwice(t *testing.T) {
+	g := NewRNG(99)
+	ref := NewRNG(99)
+	g.Mark()
+	first := make([]float64, 10)
+	for i := range first {
+		first[i] = g.Float64()
+	}
+	g.Rewind()
+	g.Mark()
+	for i := 0; i < 4; i++ { // partial replay, then roll back again
+		if v := g.Float64(); v != first[i] {
+			t.Fatalf("partial replay draw %d diverged", i)
+		}
+	}
+	g.Rewind()
+	for i := 0; i < 50; i++ {
+		if a, b := g.Float64(), ref.Float64(); a != b {
+			t.Fatalf("draw %d after second rewind: %v != %v", i, a, b)
+		}
+	}
+}
+
+// TestTapeSinceAndReplayRNG pins the decision-validation path: the tape
+// segment one decision consumed, replayed through NewReplayRNG,
+// reproduces the decision's draws exactly and reports exhaustion and
+// overdraw states correctly.
+func TestTapeSinceAndReplayRNG(t *testing.T) {
+	g := NewRNG(5)
+	g.Mark()
+	g.Float64() // another decision's draws
+	pos := g.TapePos()
+	want := []float64{g.Float64(), g.Float64(), g.Float64()}
+	steps := g.TapeSince(pos)
+
+	rg := NewReplayRNG(steps)
+	if rg.ReplayExhausted() && len(steps) > 0 {
+		t.Fatalf("fresh replay already exhausted")
+	}
+	for i, w := range want {
+		if v := rg.Float64(); v != w {
+			t.Fatalf("replay draw %d: %v != %v", i, v, w)
+		}
+	}
+	if !rg.ReplayExhausted() {
+		t.Fatalf("replay not exhausted after consuming the tape")
+	}
+	if rg.ReplayOverdrawn() {
+		t.Fatalf("replay overdrawn without drawing past the tape")
+	}
+	rg.Float64() // one past the end
+	if !rg.ReplayOverdrawn() {
+		t.Fatalf("overdraw not reported")
+	}
+	if rg.ReplayExhausted() {
+		t.Fatalf("an overdrawn replay must not count as cleanly exhausted")
+	}
+
+	// A replay that consumes fewer values than recorded is not
+	// exhausted — the step-count mismatch a validator must flag.
+	rg2 := NewReplayRNG(steps)
+	rg2.Float64()
+	if rg2.ReplayExhausted() {
+		t.Fatalf("short replay reported exhausted")
+	}
+}
+
+// TestSeededStreamsIgnoreReplayAccessors pins the accessor defaults on
+// ordinary streams.
+func TestSeededStreamsIgnoreReplayAccessors(t *testing.T) {
+	g := NewRNG(1)
+	if g.ReplayExhausted() || g.ReplayOverdrawn() {
+		t.Fatalf("seeded stream reports replay state")
+	}
+	if g.TapePos() != 0 || g.TapeSince(0) != nil {
+		t.Fatalf("tape journal non-empty before Mark")
+	}
+	g.Rewind() // no-op without Mark
+	g.Float64()
+}

@@ -1,0 +1,223 @@
+package ytcdn
+
+import (
+	"time"
+
+	"github.com/ytcdn-sim/ytcdn/internal/capture"
+	"github.com/ytcdn-sim/ytcdn/internal/cdn"
+	"github.com/ytcdn-sim/ytcdn/internal/core"
+	"github.com/ytcdn-sim/ytcdn/internal/des"
+	"github.com/ytcdn-sim/ytcdn/internal/obs"
+	"github.com/ytcdn-sim/ytcdn/internal/workload"
+)
+
+// This file wires Options.OptimisticWindow into the simulation: it is
+// the des.OptimisticHooks implementation that ties together every piece
+// of mutable run state the speculative protocol must be able to
+// checkpoint, validate and roll back —
+//
+//   - the engines' event queues and clocks (des.EngineSnapshot);
+//   - the simulators' session/flow counters, selection metrics and
+//     per-subnet player RNG streams (cdn.Simulator Checkpoint/Rollback);
+//   - the workload generators' per-subnet arrival streams
+//     (MarkStreams/RewindStreams);
+//   - the selector's load trackers and mechanism counters
+//     (core.SelectorCheckpoint) and the placement's pull-through set
+//     (Placement.Mark/Rollback);
+//   - the metrics registry's instrument values (obs.Registry.State),
+//     so an instrumented optimistic run stays bit-identical to an
+//     uninstrumented one even across rollbacks;
+//   - the capture stream, staged per shard (stageSink) and flushed to
+//     the real sink in the sequential merge order only at commit, so a
+//     rolled-back window never leaks records and record order never
+//     depends on speculation scheduling.
+//
+// Every hook runs single-threaded with all shards parked at a window
+// barrier; only stageSink.Record runs on shard goroutines, and each
+// stage belongs to exactly one shard.
+
+// stagedRec is one capture emission held back until its window commits.
+type stagedRec struct {
+	at      time.Duration
+	dataset string
+	rec     capture.FlowRecord
+}
+
+// stageSink buffers one shard's capture emissions during a speculative
+// window. It is written only by the shard's own engine goroutine and
+// drained only by the driver at the barrier (the runner's WaitGroup
+// orders the two), so it needs no locking.
+type stageSink struct {
+	eng *des.Engine
+	buf []stagedRec
+}
+
+// Record stages a flow record at the emitting event's simulated time.
+func (s *stageSink) Record(dataset string, rec capture.FlowRecord) {
+	s.buf = append(s.buf, stagedRec{at: s.eng.Now(), dataset: dataset, rec: rec})
+}
+
+// optimisticRun implements des.OptimisticHooks for one study run.
+type optimisticRun struct {
+	engines   []*des.Engine
+	sims      [][]*cdn.Simulator      // per engine
+	gens      [][]*workload.Generator // per engine
+	journals  []*core.Journal         // per engine
+	stages    []*stageSink            // per engine
+	sel       *core.Selector
+	placement *core.Placement
+	out       capture.Sink // the real sink, fed only at commit
+
+	reg        *obs.Registry // nil when metrics are off
+	violations *obs.Counter
+	horizon    *obs.Gauge
+
+	forceRollback bool // test knob: fail every validation
+
+	// Checkpoint state of the current window.
+	engSnaps []*des.EngineSnapshot
+	selCk    *core.SelectorCheckpoint
+	regState obs.State
+}
+
+// newOptimisticRun builds the hook set for the given engines. Callers
+// append each engine's simulators and generators to sims[e]/gens[e] and
+// wire journals[e] and stages[e] into them before Run.
+func newOptimisticRun(engines []*des.Engine, sel *core.Selector, placement *core.Placement, out capture.Sink, reg *obs.Registry) *optimisticRun {
+	o := &optimisticRun{
+		engines:   engines,
+		sims:      make([][]*cdn.Simulator, len(engines)),
+		gens:      make([][]*workload.Generator, len(engines)),
+		journals:  make([]*core.Journal, len(engines)),
+		stages:    make([]*stageSink, len(engines)),
+		sel:       sel,
+		placement: placement,
+		out:       out,
+		reg:       reg,
+		engSnaps:  make([]*des.EngineSnapshot, len(engines)),
+	}
+	for e := range engines {
+		o.journals[e] = core.NewJournal()
+		o.stages[e] = &stageSink{eng: engines[e]}
+	}
+	if reg != nil {
+		o.violations = reg.Counter("sim.optimistic.violations")
+		o.horizon = reg.Gauge("sim.optimistic.horizon_ns")
+	}
+	return o
+}
+
+// Checkpoint captures every piece of rollback-relevant state at the
+// committed horizon.
+func (o *optimisticRun) Checkpoint() {
+	for e, eng := range o.engines {
+		o.engSnaps[e] = eng.Snapshot()
+	}
+	for _, sims := range o.sims {
+		for _, sim := range sims {
+			sim.Checkpoint()
+		}
+	}
+	for _, gens := range o.gens {
+		for _, gen := range gens {
+			gen.MarkStreams()
+		}
+	}
+	o.selCk = o.sel.Checkpoint()
+	o.placement.Mark()
+	if o.reg != nil {
+		o.regState = o.reg.State()
+	}
+	for _, j := range o.journals {
+		j.Reset()
+	}
+}
+
+// Validate sweeps the shards' journals in the sequential merge order,
+// replaying every decision against the truth state (see
+// core.ValidateJournals). A clean sweep means the speculative window
+// already equals the sequential one and can commit as-is.
+func (o *optimisticRun) Validate() bool {
+	if o.forceRollback {
+		return false
+	}
+	return core.ValidateJournals(o.sel, o.selCk, o.journals)
+}
+
+// Rollback restores every piece of state captured by Checkpoint and
+// discards the window's staged records and journals; the runner then
+// re-runs the window sequentially from the restored RNG streams. The
+// violations counter is bumped after the registry restore so the
+// protocol telemetry survives its own rollback.
+func (o *optimisticRun) Rollback() {
+	for e, eng := range o.engines {
+		eng.Restore(o.engSnaps[e])
+	}
+	for _, sims := range o.sims {
+		for _, sim := range sims {
+			sim.Rollback()
+		}
+	}
+	for _, gens := range o.gens {
+		for _, gen := range gens {
+			gen.RewindStreams()
+		}
+	}
+	o.sel.Restore(o.selCk)
+	o.placement.Rollback()
+	if o.reg != nil {
+		o.reg.RestoreState(o.regState)
+	}
+	for _, j := range o.journals {
+		j.Reset()
+	}
+	for _, st := range o.stages {
+		st.buf = st.buf[:0]
+	}
+	if o.violations != nil {
+		o.violations.Inc()
+	}
+}
+
+// Commit finalizes the window at the given horizon: the staged capture
+// records flush to the real sink in the sequential merge order and the
+// journals clear for the next window.
+func (o *optimisticRun) Commit(horizon time.Duration) {
+	o.flushStages()
+	for _, j := range o.journals {
+		j.Reset()
+	}
+	if o.horizon != nil {
+		o.horizon.Set(int64(horizon))
+	}
+}
+
+// flushStages drains every shard's staged records into the real sink,
+// k-way merged by (time, shard, staging order) — the order the
+// sequential k-way merge would have emitted them in. The strict '<'
+// keeps equal-time records in lowest-shard-first order, matching the
+// merged runner's tie-break.
+func (o *optimisticRun) flushStages() {
+	idx := make([]int, len(o.stages))
+	for {
+		best := -1
+		var bestAt time.Duration
+		for sh, st := range o.stages {
+			if idx[sh] >= len(st.buf) {
+				continue
+			}
+			if at := st.buf[idx[sh]].at; best < 0 || at < bestAt {
+				best, bestAt = sh, at
+			}
+		}
+		if best < 0 {
+			break
+		}
+		r := &o.stages[best].buf[idx[best]]
+		idx[best]++
+		o.out.Record(r.dataset, r.rec)
+	}
+	for _, st := range o.stages {
+		st.buf = st.buf[:0]
+	}
+}

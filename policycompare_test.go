@@ -190,19 +190,12 @@ func TestPolicySwitchMidRun(t *testing.T) {
 		t.Error("no chains executed")
 	}
 
-	// Switching at the very end must be behaviourally identical to
-	// never switching (same flows, no spills).
+	// A switch at the end of the span can never affect a decision —
+	// it is a silent misconfiguration, and Run rejects it.
 	lateSwitch := base
 	lateSwitch.PolicySwitch = &PolicySwitch{At: base.Span, To: &core.LeastLoadedDC{}}
-	late, err := Run(lateSwitch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if s, _, _ := late.Selector.Counters(); s != 0 {
-		t.Errorf("late-switch run spilled %d times", s)
-	}
-	if late.TotalFlows() != pure.TotalFlows() {
-		t.Errorf("late-switch flows %d differ from pure run %d", late.TotalFlows(), pure.TotalFlows())
+	if _, err := Run(lateSwitch); err == nil {
+		t.Error("PolicySwitch.At == Span must be rejected")
 	}
 }
 
@@ -212,6 +205,7 @@ func TestPolicySwitchValidation(t *testing.T) {
 	for _, sw := range []*PolicySwitch{
 		{At: time.Hour, To: nil},
 		{At: -time.Hour, To: core.ProximityOnly{}},
+		{At: 24 * time.Hour, To: core.ProximityOnly{}},
 		{At: 48 * time.Hour, To: core.ProximityOnly{}},
 		{At: time.Hour, To: &core.ClientRace{K: -1}},
 	} {

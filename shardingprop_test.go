@@ -197,6 +197,20 @@ func TestShardingMetamorphic(t *testing.T) {
 		}
 		assertStudiesIdentical(t, fmt.Sprintf("%s shards=%d by=%s", label, exact.SimShards, exact.ShardBy), s, ref)
 
+		// Exactness under speculation: an optimistic run of the same
+		// study — random shard count, granularity and window — must
+		// also be bit-identical to sequential (rollbacks included).
+		optimistic := base
+		optimistic.SimShards = 2 + meta.Intn(10)
+		optimistic.ShardBy = []ShardBy{ShardByVP, ShardBySubnet}[meta.Intn(2)]
+		optimistic.OptimisticWindow = time.Duration(2+meta.Intn(10)) * time.Hour
+		o, err := Run(optimistic)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		assertStudiesIdentical(t, fmt.Sprintf("%s optimistic shards=%d by=%s window=%v",
+			label, optimistic.SimShards, optimistic.ShardBy, optimistic.OptimisticWindow), o, ref)
+
 		// Tolerance: a windowed sub-VP run of the same study.
 		windowed := base
 		windowed.SimShards = 5
@@ -301,15 +315,35 @@ func TestShardMatrixCell(t *testing.T) {
 		opts.SimShards = shards
 		opts.ShardBy = by
 		opts.SyncWindow = window
+		label := fmt.Sprintf("matrix shards=%d by=%s window=%v", shards, by, window)
+		if shards <= 1 && window > 0 {
+			// This cell is the silent misconfiguration Run now rejects:
+			// a window cannot apply to a single engine.
+			if _, err := Run(opts); err == nil {
+				t.Errorf("%s: want a SyncWindow-without-shards error, got nil", label)
+			}
+			continue
+		}
 		s, err := Run(opts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		label := fmt.Sprintf("matrix shards=%d by=%s window=%v", shards, by, window)
 		if window == 0 || shards <= 1 {
 			assertStudiesIdentical(t, label, s, ref)
 		} else {
 			assertWindowedTolerance(t, label, s, ref)
+
+			// The optimistic flavour of the same cell must be exact,
+			// not merely within tolerance.
+			oopts := base
+			oopts.SimShards = shards
+			oopts.ShardBy = by
+			oopts.OptimisticWindow = window
+			o, err := Run(oopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertStudiesIdentical(t, label+" optimistic", o, ref)
 		}
 	}
 }

@@ -144,6 +144,24 @@ type Options struct {
 	// tables stay within tolerance) in exchange for near-linear
 	// speedup. Ignored unless SimShards > 1.
 	SyncWindow time.Duration
+	// OptimisticWindow enables optimistic (Time Warp) sharded
+	// execution: shards run each window of this length concurrently and
+	// speculatively against live shared state while journaling every
+	// shared-state effect and decision; at the window barrier a
+	// single-threaded sweep replays the journals in the sequential merge
+	// order, and on any causality violation the whole window is rolled
+	// back to the last committed horizon and re-run sequentially from
+	// the same per-subnet RNG streams. Either way the committed state —
+	// and therefore every trace, table and figure — is bit-identical to
+	// SyncWindow == 0 at any shard count and either ShardBy granularity;
+	// only the protocol telemetry (rollback/commit counts) depends on
+	// scheduling. Mutually exclusive with SyncWindow; requires
+	// SimShards > 1.
+	OptimisticWindow time.Duration
+	// optimisticForceRollback forces every optimistic window to roll
+	// back and re-run sequentially, exercising the rollback/replay path
+	// end to end. Test-only (unexported).
+	optimisticForceRollback bool
 }
 
 // ShardBy names the unit of simulation sharding.
@@ -311,13 +329,35 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 		if err := core.ValidatePolicy(sw.To); err != nil {
 			return nil, fmt.Errorf("ytcdn: PolicySwitch: %w", err)
 		}
-		if sw.At < 0 || sw.At > opts.Span {
-			return nil, fmt.Errorf("ytcdn: PolicySwitch.At %v outside span %v", sw.At, opts.Span)
+		if sw.At < 0 || sw.At >= opts.Span {
+			// At == Span is rejected too: no decision happens at or
+			// after the end of the span, so such a switch silently
+			// changes nothing — a misconfiguration, not a scenario.
+			return nil, fmt.Errorf("ytcdn: PolicySwitch.At %v outside span [0, %v)", sw.At, opts.Span)
 		}
 	}
 
 	if opts.SyncWindow < 0 {
 		return nil, fmt.Errorf("ytcdn: SyncWindow %v must be >= 0", opts.SyncWindow)
+	}
+	if opts.OptimisticWindow < 0 {
+		return nil, fmt.Errorf("ytcdn: OptimisticWindow %v must be >= 0", opts.OptimisticWindow)
+	}
+	if opts.SyncWindow > 0 && opts.OptimisticWindow > 0 {
+		return nil, fmt.Errorf("ytcdn: SyncWindow and OptimisticWindow are mutually exclusive")
+	}
+	// A window on a single-engine run is a silent misconfiguration: the
+	// option would be dropped and the caller would believe they measured
+	// a windowed (or optimistic) run. Reject it before clamping — asking
+	// for more shards than the topology has units is a different, valid
+	// request that still clamps below.
+	if opts.SimShards <= 1 {
+		if opts.SyncWindow > 0 {
+			return nil, fmt.Errorf("ytcdn: SyncWindow %v requires SimShards > 1 (got %d)", opts.SyncWindow, opts.SimShards)
+		}
+		if opts.OptimisticWindow > 0 {
+			return nil, fmt.Errorf("ytcdn: OptimisticWindow %v requires SimShards > 1 (got %d)", opts.OptimisticWindow, opts.SimShards)
+		}
 	}
 	shardBy := opts.ShardBy
 	if shardBy == "" {
@@ -341,8 +381,11 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 		shardCount = units
 	}
 	syncWindow := opts.SyncWindow
+	optWindow := opts.OptimisticWindow
 	if shardCount == 1 {
-		syncWindow = 0 // a single shard is already exact
+		// Only reachable by clamping (SimShards > units): a single
+		// shard is already exact, so the windows degenerate to it.
+		syncWindow, optWindow = 0, 0
 	}
 
 	var mem *capture.MemSink
@@ -403,6 +446,15 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 			}
 		}
 	}
+	// Optimistic mode routes each shard's capture emissions through a
+	// per-shard staging buffer (flushed in merge order at each commit)
+	// and journals every shared-state effect and decision; see
+	// optimistic.go for the hook wiring.
+	var opt *optimisticRun
+	if optWindow > 0 {
+		opt = newOptimisticRun(engines, sel, placement, sink, opts.Metrics)
+		opt.forceRollback = opts.optimisticForceRollback
+	}
 	var sims []*cdn.Simulator
 	for e := 0; e < shardCount; e++ {
 		// Deterministic bucket order: VP index ascending.
@@ -413,7 +465,11 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 			}
 			name := w.VantagePoints[i].Name
 			eng := engines[e]
-			sim, err := cdn.NewSimulator(w, cat, sel, eng, sink, playerCfg, root, opts.Span)
+			simSink := sink
+			if opt != nil {
+				simSink = opt.stages[e]
+			}
+			sim, err := cdn.NewSimulator(w, cat, sel, eng, simSink, playerCfg, root, opts.Span)
 			if err != nil {
 				return nil, fmt.Errorf("ytcdn: %w", err)
 			}
@@ -421,6 +477,11 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 			gen, err := workload.NewGeneratorSubset(w, i, subnets, cat, opts.Span, root.Fork("workload-"+name))
 			if err != nil {
 				return nil, fmt.Errorf("ytcdn: %w", err)
+			}
+			if opt != nil {
+				sim.SetJournal(opt.journals[e])
+				opt.sims[e] = append(opt.sims[e], sim)
+				opt.gens[e] = append(opt.gens[e], gen)
 			}
 			if opts.Metrics != nil {
 				sim.Instrument(opts.Metrics)
@@ -436,6 +497,11 @@ func RunWorld(w *topology.World, opts Options) (*Study, error) {
 	}
 	if opts.Metrics != nil {
 		runner.Instrument(opts.Metrics)
+	}
+	if opt != nil {
+		if err := runner.SetOptimistic(optWindow, opt); err != nil {
+			return nil, fmt.Errorf("ytcdn: %w", err)
+		}
 	}
 	if sw := opts.PolicySwitch; sw != nil {
 		// Validated above (before the store writer), so the switch
